@@ -1,0 +1,440 @@
+// Package autopilot is the flight-code layer of the stack (Figure 5): an
+// ArduCopter-style autopilot owning modes, arming, waypoint missions and
+// failsafes, wired to the inner-loop cascade (internal/control), the sensor
+// suite (internal/sensors), the estimator (internal/estimation), the battery
+// (internal/power) and the 6-DOF plant (internal/sim).
+//
+// The outer loop — mission logic producing position/velocity targets — runs
+// at 10 Hz with relaxed deadlines, while the inner loop runs at the Table 2b
+// rates; the package keeps them separated exactly as §2.1.3-A prescribes.
+package autopilot
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dronedse/control"
+	"dronedse/estimation"
+	"dronedse/mathx"
+	"dronedse/planner"
+	"dronedse/power"
+	"dronedse/sensors"
+	"dronedse/sim"
+)
+
+// Mode is the autopilot flight mode.
+type Mode int
+
+// Flight modes.
+const (
+	Disarmed Mode = iota
+	Takeoff
+	Mission
+	Hover
+	Land
+	ReturnToLaunch
+	Failsafe
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Disarmed:
+		return "DISARMED"
+	case Takeoff:
+		return "TAKEOFF"
+	case Mission:
+		return "MISSION"
+	case Hover:
+		return "HOVER"
+	case Land:
+		return "LAND"
+	case ReturnToLaunch:
+		return "RTL"
+	case Failsafe:
+		return "FAILSAFE"
+	case TrajectoryMode:
+		return "TRAJECTORY"
+	case FollowMode:
+		return "FOLLOW"
+	default:
+		return fmt.Sprintf("MODE(%d)", int(m))
+	}
+}
+
+// Waypoint is one mission item.
+type Waypoint struct {
+	Pos mathx.Vec3
+	// HoldS is how long to loiter after arrival.
+	HoldS float64
+	// AcceptRadiusM is the arrival threshold (default 0.5 m).
+	AcceptRadiusM float64
+}
+
+// MissionPlan is an ordered waypoint list.
+type MissionPlan []Waypoint
+
+// Config assembles an autopilot.
+type Config struct {
+	Quad  *sim.Quad
+	Rates control.Rates
+	// Battery powers propulsion and electronics; nil disables battery
+	// accounting and failsafe.
+	Battery *power.Pack
+	// ComputeW is the electronics power draw (autopilot board + any
+	// workloads); the Figure 16 experiment varies it between phases.
+	ComputeW float64
+	// TakeoffAltM is the default takeoff altitude.
+	TakeoffAltM float64
+	Seed        int64
+}
+
+// Autopilot is the full closed-loop stack.
+type Autopilot struct {
+	quad    *sim.Quad
+	cascade *control.Cascade
+	rates   control.Rates
+	suite   *sensors.Suite
+	est     *estimation.Estimator
+	battery *power.Pack
+	rng     *rand.Rand
+
+	mode        Mode
+	landSpot    mathx.Vec3
+	landLatched bool
+	mission     MissionPlan
+	wpIndex     int
+	holdUntil   float64
+	home        mathx.Vec3
+	takeoffAlt  float64
+	yawTarget   float64
+	computeW    float64
+
+	traj   *planner.Trajectory
+	trajT0 float64
+	follow FollowConfig
+
+	fence     Geofence
+	energy    EnergyPolicy
+	avgPowerW float64
+	lastEvent string
+	staged    []Waypoint
+
+	steps     int
+	physicsHz float64
+	lastIMU   sensors.IMUSample
+	prevVel   mathx.Vec3
+
+	// OnStep, when set, observes every physics step (power traces).
+	OnStep func(a *Autopilot, dt float64)
+}
+
+// New builds the autopilot stack.
+func New(cfg Config) (*Autopilot, error) {
+	if cfg.Quad == nil {
+		return nil, errors.New("autopilot: nil plant")
+	}
+	r := cfg.Rates
+	if r.RateHz == 0 {
+		r = control.DefaultRates()
+	}
+	alt := cfg.TakeoffAltM
+	if alt <= 0 {
+		alt = 5
+	}
+	a := &Autopilot{
+		quad:       cfg.Quad,
+		cascade:    control.NewCascade(cfg.Quad),
+		rates:      r,
+		suite:      sensors.NewSuite(cfg.Seed),
+		est:        estimation.NewEstimator(),
+		battery:    cfg.Battery,
+		rng:        rand.New(rand.NewSource(cfg.Seed + 99)),
+		takeoffAlt: alt,
+		computeW:   cfg.ComputeW,
+		physicsHz:  1000,
+	}
+	if r.RateHz > a.physicsHz {
+		a.physicsHz = r.RateHz
+	}
+	return a, nil
+}
+
+// Mode returns the current flight mode.
+func (a *Autopilot) Mode() Mode { return a.mode }
+
+// Time returns the simulated time.
+func (a *Autopilot) Time() float64 { return a.quad.Time() }
+
+// Quad exposes the plant (read-mostly; tests and traces).
+func (a *Autopilot) Quad() *sim.Quad { return a.quad }
+
+// Battery exposes the pack, possibly nil.
+func (a *Autopilot) Battery() *power.Pack { return a.battery }
+
+// SetComputeW changes the electronics power draw (e.g. SLAM started).
+func (a *Autopilot) SetComputeW(w float64) { a.computeW = w }
+
+// ComputeW returns the present electronics power draw.
+func (a *Autopilot) ComputeW() float64 { return a.computeW }
+
+// EstimatedState returns the fused state estimate the controllers fly on.
+func (a *Autopilot) EstimatedState() sim.State {
+	return sim.State{
+		Pos:   a.est.Pos.Position(),
+		Vel:   a.est.Pos.Velocity(),
+		Att:   a.est.Att.Attitude(),
+		Omega: a.lastIMU.Gyro,
+	}
+}
+
+// Arm transitions Disarmed -> Takeoff. It fails in any other mode or with a
+// drained battery (pre-flight check).
+func (a *Autopilot) Arm() error {
+	if a.mode != Disarmed {
+		return fmt.Errorf("autopilot: cannot arm in %v", a.mode)
+	}
+	if a.battery != nil && a.battery.Drained() {
+		return errors.New("autopilot: battery below drain limit")
+	}
+	a.home = a.quad.State().Pos
+	a.mode = Takeoff
+	return nil
+}
+
+// LoadMission installs a mission plan; it validates waypoints.
+func (a *Autopilot) LoadMission(m MissionPlan) error {
+	if len(m) == 0 {
+		return errors.New("autopilot: empty mission")
+	}
+	for i, wp := range m {
+		if wp.Pos.Z <= 0 {
+			return fmt.Errorf("autopilot: waypoint %d below ground", i)
+		}
+	}
+	a.mission = m
+	a.wpIndex = 0
+	return nil
+}
+
+// StartMission transitions to Mission mode (must be airborne: Hover or
+// Takeoff complete).
+func (a *Autopilot) StartMission() error {
+	if len(a.mission) == 0 {
+		return errors.New("autopilot: no mission loaded")
+	}
+	if a.mode != Hover {
+		return fmt.Errorf("autopilot: start mission from HOVER, not %v", a.mode)
+	}
+	a.wpIndex = 0
+	a.mode = Mission
+	return nil
+}
+
+// CommandLand requests a descent to touchdown.
+func (a *Autopilot) CommandLand() { a.mode = Land }
+
+// CommandHover holds position at the current estimate (valid from any
+// airborne mode; it cancels missions, trajectories and following).
+func (a *Autopilot) CommandHover() {
+	if a.mode != Disarmed && a.mode != Land && a.mode != Failsafe {
+		a.mode = Hover
+		a.traj = nil
+	}
+}
+
+// CommandRTL requests return-to-launch.
+func (a *Autopilot) CommandRTL() {
+	if a.mode != Disarmed {
+		a.mode = ReturnToLaunch
+	}
+}
+
+// targets computes the outer-loop set point for the current mode (the
+// 10 Hz mission logic).
+func (a *Autopilot) targets() control.Targets {
+	est := a.EstimatedState()
+	switch a.mode {
+	case Takeoff:
+		goal := a.home
+		goal.Z = a.takeoffAlt
+		if est.Pos.Z > a.takeoffAlt*0.95 {
+			a.mode = Hover
+		}
+		return control.Targets{Position: goal, Yaw: a.yawTarget}
+	case Mission:
+		wp := a.mission[a.wpIndex]
+		accept := wp.AcceptRadiusM
+		if accept <= 0 {
+			accept = 0.5
+		}
+		if est.Pos.Sub(wp.Pos).Norm() < accept {
+			if a.holdUntil == 0 {
+				a.holdUntil = a.Time() + wp.HoldS
+			}
+			if a.Time() >= a.holdUntil {
+				a.holdUntil = 0
+				a.wpIndex++
+				if a.wpIndex >= len(a.mission) {
+					a.wpIndex = len(a.mission) - 1
+					a.mode = ReturnToLaunch
+				}
+			}
+		}
+		return control.Targets{Position: a.mission[a.wpIndex].Pos, Yaw: a.yawTarget}
+	case TrajectoryMode:
+		return a.trajectoryTargets()
+	case FollowMode:
+		return a.followTargets()
+	case Land:
+		if !a.landLatched {
+			a.landSpot = est.Pos
+			a.landLatched = true
+		}
+		goal := a.landSpot
+		goal.Z = -0.5 // drive through the ground plane; contact disarms
+		if a.quad.OnGround() {
+			a.mode = Disarmed
+			a.landLatched = false
+		}
+		return control.Targets{Position: goal, Yaw: a.yawTarget}
+	case ReturnToLaunch:
+		goal := a.home
+		goal.Z = a.takeoffAlt
+		if est.Pos.Sub(goal).Norm() < 0.5 {
+			a.mode = Land
+		}
+		return control.Targets{Position: goal, Yaw: a.yawTarget}
+	case Failsafe:
+		if !a.landLatched {
+			a.landSpot = est.Pos
+			a.landLatched = true
+		}
+		goal := a.landSpot
+		goal.Z = -0.5
+		if a.quad.OnGround() {
+			a.mode = Disarmed
+			a.landLatched = false
+		}
+		return control.Targets{Position: goal, Yaw: a.yawTarget}
+	default: // Disarmed, Hover
+		hold := est.Pos
+		if a.mode == Hover {
+			return control.Targets{Position: hold, Yaw: a.yawTarget}
+		}
+		return control.Targets{Position: a.home, Yaw: a.yawTarget}
+	}
+}
+
+// Step advances the whole stack by one physics step (1/physicsHz seconds).
+func (a *Autopilot) Step() {
+	dt := 1 / a.physicsHz
+	trueState := a.quad.State()
+
+	// Sensor acquisition at Table 2a rates. The gyro is read every
+	// control step (flight controllers clock the gyro at the loop rate;
+	// Table 2a's 100-200 Hz is the fused output rate).
+	now := a.quad.Time()
+	accelWorld := trueState.Vel.Sub(a.prevVel).Scale(a.physicsHz)
+	a.prevVel = trueState.Vel
+	if a.suite.IMU.Due(now) {
+		a.lastIMU = a.suite.IMU.Sample(trueState, accelWorld)
+		a.est.OnIMU(a.lastIMU, 1/a.suite.IMU.RateHz)
+	} else {
+		// fast gyro path for the rate loop
+		a.lastIMU.Gyro = trueState.Omega.Add(mathx.V3(
+			a.rng.NormFloat64(), a.rng.NormFloat64(), a.rng.NormFloat64()).Scale(0.003))
+	}
+	if a.suite.GPS.Due(now) {
+		a.est.OnGPS(a.suite.GPS.Sample(trueState))
+	}
+	if a.suite.Baro.Due(now) {
+		a.est.OnBaro(a.suite.Baro.SampleAltitude(trueState))
+	}
+	if a.suite.Mag.Due(now) {
+		a.est.OnMag(a.suite.Mag.SampleYaw(trueState), 1/a.suite.Mag.RateHz)
+	}
+
+	// Battery failsafe (outer-loop decision, Table 1: flight time
+	// management).
+	if a.battery != nil && a.battery.Drained() &&
+		a.mode != Land && a.mode != Disarmed && a.mode != Failsafe {
+		a.mode = Failsafe
+	}
+
+	// Control cascade at Table 2b rates, flying on the estimate.
+	est := a.EstimatedState()
+	posEvery := int(a.physicsHz/a.rates.PositionHz + 0.5)
+	attEvery := int(a.physicsHz/a.rates.AttitudeHz + 0.5)
+	rateEvery := int(a.physicsHz/a.rates.RateHz + 0.5)
+	if posEvery < 1 {
+		posEvery = 1
+	}
+	if attEvery < 1 {
+		attEvery = 1
+	}
+	if rateEvery < 1 {
+		rateEvery = 1
+	}
+	armed := a.mode != Disarmed
+	if a.steps%posEvery == 0 && armed {
+		a.checkSafety()
+		a.cascade.UpdatePosition(est, a.targets(), float64(posEvery)*dt)
+	}
+	if a.steps%attEvery == 0 && armed {
+		a.cascade.UpdateAttitude(est, float64(attEvery)*dt)
+	}
+	if a.steps%rateEvery == 0 {
+		if armed {
+			a.quad.CommandThrusts(a.cascade.UpdateRate(est, float64(rateEvery)*dt))
+		} else {
+			a.quad.CommandThrusts([sim.NumMotors]float64{})
+		}
+	}
+
+	a.quad.Step(dt)
+	a.steps++
+
+	// Energy accounting, plus the rolling average power the Table 1
+	// flight-time-management policy consumes (~5 s EMA).
+	total := a.quad.ElectricalPowerW() + a.computeW
+	if a.battery != nil {
+		a.battery.DrawPower(total, dt)
+	}
+	if a.avgPowerW == 0 {
+		a.avgPowerW = total
+	} else {
+		alpha := dt / 5
+		a.avgPowerW += alpha * (total - a.avgPowerW)
+	}
+	if a.OnStep != nil {
+		a.OnStep(a, dt)
+	}
+}
+
+// RunFor advances the stack for the given simulated duration.
+func (a *Autopilot) RunFor(seconds float64) {
+	n := int(seconds * a.physicsHz)
+	for i := 0; i < n; i++ {
+		a.Step()
+	}
+}
+
+// RunUntil advances until cond returns true or the timeout elapses,
+// reporting whether the condition was met.
+func (a *Autopilot) RunUntil(cond func(*Autopilot) bool, maxSeconds float64) bool {
+	n := int(maxSeconds * a.physicsHz)
+	for i := 0; i < n; i++ {
+		a.Step()
+		if cond(a) {
+			return true
+		}
+	}
+	return cond(a)
+}
+
+// TotalPowerW is the instantaneous whole-drone power (Figure 16b signal).
+func (a *Autopilot) TotalPowerW() float64 {
+	return a.quad.ElectricalPowerW() + a.computeW
+}

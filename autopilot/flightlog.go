@@ -1,0 +1,166 @@
+package autopilot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FlightLog is a DataFlash-style structured flight recorder: periodic
+// snapshots of the vehicle state, queryable after the flight and exportable
+// as CSV — the logging layer every ArduCopter deployment (including the
+// paper's artifact) relies on for post-flight analysis.
+type FlightLog struct {
+	// PeriodS is the sample interval (default 0.1 s).
+	PeriodS float64
+
+	entries []LogEntry
+	next    float64
+	primed  bool
+	events  []LogEvent
+}
+
+// LogEntry is one sampled row.
+type LogEntry struct {
+	TimeS      float64
+	Mode       Mode
+	PosX, PosY float64
+	Alt        float64
+	Speed      float64
+	Roll       float64
+	Pitch      float64
+	Yaw        float64
+	PowerW     float64
+	BatterySoC float64
+}
+
+// LogEvent is an asynchronous annotation (mode changes, safety events).
+type LogEvent struct {
+	TimeS float64
+	Text  string
+}
+
+// AttachFlightLog installs the recorder on the autopilot's step hook,
+// chaining any existing OnStep observer.
+func (a *Autopilot) AttachFlightLog(l *FlightLog) {
+	if l.PeriodS <= 0 {
+		l.PeriodS = 0.1
+	}
+	prev := a.OnStep
+	lastMode := a.Mode()
+	lastEvent := a.LastEvent()
+	a.OnStep = func(ap *Autopilot, dt float64) {
+		if prev != nil {
+			prev(ap, dt)
+		}
+		if m := ap.Mode(); m != lastMode {
+			l.events = append(l.events, LogEvent{ap.Time(), "mode " + lastMode.String() + " -> " + m.String()})
+			lastMode = m
+		}
+		if e := ap.LastEvent(); e != lastEvent && e != "" {
+			l.events = append(l.events, LogEvent{ap.Time(), e})
+			lastEvent = e
+		}
+		if !l.primed {
+			l.next = ap.Time()
+			l.primed = true
+		}
+		if ap.Time() < l.next {
+			return
+		}
+		l.next += l.PeriodS
+		s := ap.Quad().State()
+		roll, pitch, yaw := s.Att.Euler()
+		e := LogEntry{
+			TimeS: ap.Time(), Mode: ap.Mode(),
+			PosX: s.Pos.X, PosY: s.Pos.Y, Alt: s.Pos.Z,
+			Speed: s.Vel.Norm(),
+			Roll:  roll, Pitch: pitch, Yaw: yaw,
+			PowerW: ap.TotalPowerW(),
+		}
+		if b := ap.Battery(); b != nil {
+			e.BatterySoC = b.StateOfCharge()
+		}
+		l.entries = append(l.entries, e)
+	}
+}
+
+// Entries returns the recorded rows.
+func (l *FlightLog) Entries() []LogEntry { return l.entries }
+
+// Events returns the recorded annotations.
+func (l *FlightLog) Events() []LogEvent { return l.events }
+
+// MaxAltitude returns the highest recorded altitude.
+func (l *FlightLog) MaxAltitude() float64 {
+	m := 0.0
+	for _, e := range l.entries {
+		if e.Alt > m {
+			m = e.Alt
+		}
+	}
+	return m
+}
+
+// MaxSpeed returns the highest recorded speed.
+func (l *FlightLog) MaxSpeed() float64 {
+	m := 0.0
+	for _, e := range l.entries {
+		if e.Speed > m {
+			m = e.Speed
+		}
+	}
+	return m
+}
+
+// EnergyWh integrates the recorded power into watt-hours.
+func (l *FlightLog) EnergyWh() float64 {
+	wh := 0.0
+	for i := 1; i < len(l.entries); i++ {
+		dt := l.entries[i].TimeS - l.entries[i-1].TimeS
+		wh += (l.entries[i].PowerW + l.entries[i-1].PowerW) / 2 * dt / 3600
+	}
+	return wh
+}
+
+// TimeInMode sums the recorded seconds spent in a mode.
+func (l *FlightLog) TimeInMode(m Mode) float64 {
+	t := 0.0
+	for i := 1; i < len(l.entries); i++ {
+		if l.entries[i].Mode == m {
+			t += l.entries[i].TimeS - l.entries[i-1].TimeS
+		}
+	}
+	return t
+}
+
+// WriteCSV streams the log as CSV.
+func (l *FlightLog) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w,
+		"time_s,mode,x,y,alt,speed,roll,pitch,yaw,power_w,soc\n"); err != nil {
+		return err
+	}
+	for _, e := range l.entries {
+		_, err := fmt.Fprintf(w, "%.3f,%s,%.3f,%.3f,%.3f,%.3f,%.4f,%.4f,%.4f,%.2f,%.4f\n",
+			e.TimeS, e.Mode, e.PosX, e.PosY, e.Alt, e.Speed,
+			e.Roll, e.Pitch, e.Yaw, e.PowerW, e.BatterySoC)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary renders a one-paragraph post-flight report.
+func (l *FlightLog) Summary() string {
+	if len(l.entries) == 0 {
+		return "flight log: empty"
+	}
+	var b strings.Builder
+	first, last := l.entries[0], l.entries[len(l.entries)-1]
+	fmt.Fprintf(&b, "flight log: %.1f s, %d samples, %d events; ",
+		last.TimeS-first.TimeS, len(l.entries), len(l.events))
+	fmt.Fprintf(&b, "max alt %.1f m, max speed %.1f m/s, energy %.2f Wh",
+		l.MaxAltitude(), l.MaxSpeed(), l.EnergyWh())
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package autopilot
+
+import (
+	"fmt"
+	"sort"
+
+	"dronedse/mavlink"
+)
+
+// The parameter protocol: named tunables readable and writable over MAVLink
+// at runtime — the artifact's mid-flight reconfiguration path ("DroneKit
+// ... modified to allow the drone to be reconfigured mid-flight").
+//
+// Parameter names follow the ArduCopter convention.
+const (
+	ParamTakeoffAlt    = "TKOFF_ALT"
+	ParamFenceRadius   = "FENCE_RADIUS"
+	ParamFenceCeiling  = "FENCE_ALT_MAX"
+	ParamEnergyReserve = "BATT_RTL_RESRV"
+	ParamCruiseSpeed   = "WPNAV_SPEED"
+	ParamYawTarget     = "YAW_TARGET"
+	ParamComputeW      = "COMPUTE_W"
+)
+
+// ErrUnknownParam reports a parameter name the autopilot does not expose.
+var ErrUnknownParam = fmt.Errorf("autopilot: unknown parameter")
+
+// GetParam reads a named parameter.
+func (a *Autopilot) GetParam(name string) (float64, error) {
+	switch name {
+	case ParamTakeoffAlt:
+		return a.takeoffAlt, nil
+	case ParamFenceRadius:
+		return a.fence.RadiusM, nil
+	case ParamFenceCeiling:
+		return a.fence.CeilingM, nil
+	case ParamEnergyReserve:
+		return a.energy.Reserve, nil
+	case ParamCruiseSpeed:
+		return a.energy.CruiseMS, nil
+	case ParamYawTarget:
+		return a.yawTarget, nil
+	case ParamComputeW:
+		return a.computeW, nil
+	default:
+		return 0, fmt.Errorf("%w: %q", ErrUnknownParam, name)
+	}
+}
+
+// SetParam writes a named parameter, validating ranges. Safe mid-flight:
+// each parameter takes effect at the next outer-loop tick.
+func (a *Autopilot) SetParam(name string, value float64) error {
+	bad := func(why string) error {
+		return fmt.Errorf("autopilot: %s=%v rejected: %s", name, value, why)
+	}
+	switch name {
+	case ParamTakeoffAlt:
+		if value <= 0 || value > 120 {
+			return bad("takeoff altitude must be in (0, 120] m")
+		}
+		a.takeoffAlt = value
+	case ParamFenceRadius:
+		if value < 0 {
+			return bad("radius must be >= 0 (0 disables)")
+		}
+		a.fence.RadiusM = value
+	case ParamFenceCeiling:
+		if value < 0 {
+			return bad("ceiling must be >= 0 (0 disables)")
+		}
+		a.fence.CeilingM = value
+	case ParamEnergyReserve:
+		if value < 1 {
+			return bad("reserve factor must be >= 1")
+		}
+		a.energy.Reserve = value
+		a.energy.Enabled = true
+	case ParamCruiseSpeed:
+		if value <= 0 || value > 20 {
+			return bad("cruise speed must be in (0, 20] m/s")
+		}
+		a.energy.CruiseMS = value
+	case ParamYawTarget:
+		a.yawTarget = value
+	case ParamComputeW:
+		if value < 0 {
+			return bad("compute power must be >= 0")
+		}
+		a.computeW = value
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownParam, name)
+	}
+	return nil
+}
+
+// ParamNames lists the exposed parameters in stable order.
+func (a *Autopilot) ParamNames() []string {
+	names := []string{
+		ParamTakeoffAlt, ParamFenceRadius, ParamFenceCeiling,
+		ParamEnergyReserve, ParamCruiseSpeed, ParamYawTarget, ParamComputeW,
+	}
+	sort.Strings(names)
+	return names
+}
+
+// HandleParamSet applies a PARAM_SET frame and returns the PARAM_VALUE
+// acknowledgment payload (the protocol echoes the accepted value).
+func (a *Autopilot) HandleParamSet(p mavlink.Param) (mavlink.Param, error) {
+	if err := a.SetParam(p.Name, float64(p.Value)); err != nil {
+		return mavlink.Param{}, err
+	}
+	v, err := a.GetParam(p.Name)
+	if err != nil {
+		return mavlink.Param{}, err
+	}
+	return mavlink.Param{Name: p.Name, Value: float32(v)}, nil
+}

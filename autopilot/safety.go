@@ -1,0 +1,192 @@
+package autopilot
+
+import (
+	"errors"
+	"math"
+
+	"dronedse/mathx"
+	"dronedse/mavlink"
+)
+
+// Geofence bounds the flight volume: a horizontal radius around home and
+// an altitude ceiling. A breach triggers return-to-launch — the safety
+// override path the paper routes through the inner loop for minimum
+// latency (§2.1.3-A).
+type Geofence struct {
+	RadiusM  float64
+	CeilingM float64
+}
+
+// SetGeofence installs (or, with a zero fence, removes) the geofence.
+func (a *Autopilot) SetGeofence(f Geofence) { a.fence = f }
+
+// fenceLookaheadS is the predictive-breach horizon: the monitor projects
+// the velocity forward so the turn-around starts before the boundary, the
+// way fielded autopilots implement fences (stopping from cruise takes
+// many meters).
+const fenceLookaheadS = 1.0
+
+// fenceBreached reports whether the estimate — projected one lookahead
+// ahead — is outside the fence.
+func (a *Autopilot) fenceBreached() bool {
+	if a.fence.RadiusM <= 0 && a.fence.CeilingM <= 0 {
+		return false
+	}
+	est := a.EstimatedState()
+	ahead := est.Pos.Add(est.Vel.Scale(fenceLookaheadS))
+	horiz := math.Hypot(ahead.X-a.home.X, ahead.Y-a.home.Y)
+	if a.fence.RadiusM > 0 && horiz > a.fence.RadiusM {
+		return true
+	}
+	if a.fence.CeilingM > 0 && ahead.Z > a.fence.CeilingM {
+		return true
+	}
+	return false
+}
+
+// EnergyPolicy is the outer-loop flight-time management duty of Table 1:
+// monitor the battery and the energy needed to get home, and bail out with
+// margin. Reserve is the fraction of return energy held in reserve.
+type EnergyPolicy struct {
+	Enabled bool
+	// Reserve scales the estimated return energy (1.5 = 50% margin).
+	Reserve float64
+	// CruiseMS is the assumed return speed.
+	CruiseMS float64
+}
+
+// DefaultEnergyPolicy returns a 50%-margin policy at 4 m/s cruise.
+func DefaultEnergyPolicy() EnergyPolicy {
+	return EnergyPolicy{Enabled: true, Reserve: 1.5, CruiseMS: 4}
+}
+
+// SetEnergyPolicy installs the policy.
+func (a *Autopilot) SetEnergyPolicy(p EnergyPolicy) { a.energy = p }
+
+// EstimatedReturnEnergyWh estimates the energy to fly home and land from
+// the present position at the policy's cruise speed, using the recent
+// average total power.
+func (a *Autopilot) EstimatedReturnEnergyWh() float64 {
+	cruise := a.energy.CruiseMS
+	if cruise <= 0 {
+		cruise = DefaultEnergyPolicy().CruiseMS
+	}
+	est := a.EstimatedState().Pos
+	dist := est.Sub(a.home).Norm()
+	cruiseS := dist / cruise
+	descentS := est.Z / 1.5 // landing descent at ~1.5 m/s
+	p := a.avgPowerW
+	if p <= 0 {
+		p = a.TotalPowerW()
+	}
+	return p * (cruiseS + descentS) / 3600
+}
+
+// RemainingEnergyWh is the usable energy left in the pack before the LiPo
+// drain limit.
+func (a *Autopilot) RemainingEnergyWh() float64 {
+	if a.battery == nil {
+		return math.Inf(1)
+	}
+	full := a.battery.UsableEnergyWh()
+	soc := a.battery.StateOfCharge()
+	// Usable fraction remaining: SoC spans [1-drainLimit, 1].
+	used := (1 - soc) / 0.85
+	if used > 1 {
+		used = 1
+	}
+	return full * (1 - used)
+}
+
+// EstimatedEnduranceMin is the remaining flight time at the recent average
+// power — the "calculate flight time" box of Figure 12, live.
+func (a *Autopilot) EstimatedEnduranceMin() float64 {
+	p := a.avgPowerW
+	if p <= 0 {
+		p = a.TotalPowerW()
+	}
+	if p <= 0 {
+		return 0
+	}
+	return RemainingOrInf(a.RemainingEnergyWh()) / p * 60
+}
+
+// RemainingOrInf guards the Inf battery-less case for display math.
+func RemainingOrInf(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64 / 1e6
+	}
+	return v
+}
+
+// crashTiltRad is the crash-check attitude threshold: a quadrotor past
+// ~75 degrees of tilt while the controller is demanding level flight is
+// unrecoverable; the check disarms to stop the motors (ArduCopter's crash
+// check does the same).
+const crashTiltRad = 75 * math.Pi / 180
+
+// checkSafety runs the outer-loop safety monitors; called from Step at the
+// mission-logic rate.
+func (a *Autopilot) checkSafety() {
+	if a.mode == Disarmed || a.mode == Failsafe {
+		return
+	}
+	// Crash check: extreme attitude means control is lost (e.g. a failed
+	// motor); cut the motors rather than fight physics.
+	est := a.EstimatedState()
+	up := est.Att.Rotate(mathx.V3(0, 0, 1))
+	if math.Acos(mathx.Clamp(up.Z, -1, 1)) > crashTiltRad {
+		a.lastEvent = "crash detected: disarm"
+		a.mode = Disarmed
+		return
+	}
+	if a.mode == Land {
+		return
+	}
+	if a.fenceBreached() && a.mode != ReturnToLaunch {
+		a.lastEvent = "geofence breach: RTL"
+		a.mode = ReturnToLaunch
+		return
+	}
+	if a.energy.Enabled && a.battery != nil && a.mode != ReturnToLaunch {
+		if a.RemainingEnergyWh() < a.EstimatedReturnEnergyWh()*a.energy.Reserve {
+			a.lastEvent = "energy reserve reached: RTL"
+			a.mode = ReturnToLaunch
+		}
+	}
+}
+
+// LastEvent returns the most recent safety event description (empty when
+// none fired).
+func (a *Autopilot) LastEvent() string { return a.lastEvent }
+
+// --- Mission upload over MAVLink ---
+
+// ErrMissionIndex reports an out-of-order mission item upload.
+var ErrMissionIndex = errors.New("autopilot: mission item out of order")
+
+// HandleMissionItem accepts one uploaded waypoint. Items must arrive in
+// index order starting at 0; item 0 resets the staged mission. The staged
+// mission becomes active on CommitMission.
+func (a *Autopilot) HandleMissionItem(item mavlink.MissionItem) error {
+	if int(item.Index) == 0 {
+		a.staged = a.staged[:0]
+	}
+	if int(item.Index) != len(a.staged) {
+		return ErrMissionIndex
+	}
+	a.staged = append(a.staged, Waypoint{
+		Pos:   mathx.V3(float64(item.X), float64(item.Y), float64(item.Z)),
+		HoldS: float64(item.HoldS),
+	})
+	return nil
+}
+
+// CommitMission validates and activates the staged mission.
+func (a *Autopilot) CommitMission() error {
+	if err := a.LoadMission(append(MissionPlan(nil), a.staged...)); err != nil {
+		return err
+	}
+	a.staged = a.staged[:0]
+	return nil
+}

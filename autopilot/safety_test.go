@@ -1,0 +1,171 @@
+package autopilot
+
+import (
+	"math"
+	"testing"
+
+	"dronedse/mathx"
+	"dronedse/mavlink"
+	"dronedse/power"
+	"dronedse/sim"
+)
+
+func TestGeofenceTriggersRTL(t *testing.T) {
+	ap := newTestAP(t, 3)
+	ap.SetGeofence(Geofence{RadiusM: 8, CeilingM: 20})
+	ap.SetEnergyPolicy(EnergyPolicy{}) // isolate the fence
+	if err := ap.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	ap.RunUntil(func(a *Autopilot) bool { return a.Mode() == Hover }, 30)
+	// A mission waypoint beyond the fence: the breach monitor must flip
+	// to RTL mid-flight.
+	if err := ap.LoadMission(MissionPlan{{Pos: mathx.V3(30, 0, 5)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.StartMission(); err != nil {
+		t.Fatal(err)
+	}
+	sawRTL := false
+	maxHoriz := 0.0
+	ap.RunUntil(func(a *Autopilot) bool {
+		p := a.Quad().State().Pos
+		if h := math.Hypot(p.X, p.Y); h > maxHoriz {
+			maxHoriz = h
+		}
+		if a.Mode() == ReturnToLaunch {
+			sawRTL = true
+		}
+		return a.Mode() == Disarmed
+	}, 180)
+	if !sawRTL {
+		t.Fatal("geofence breach never triggered RTL")
+	}
+	if ap.LastEvent() != "geofence breach: RTL" {
+		t.Errorf("LastEvent = %q", ap.LastEvent())
+	}
+	// Allowing stopping distance from cruise (the mission leg accelerates
+	// hard before the predictive breach trips), the drone must not run
+	// far past the fence.
+	if maxHoriz > 20 {
+		t.Errorf("flew %v m horizontally past an 8 m fence", maxHoriz)
+	}
+}
+
+func TestCeilingFence(t *testing.T) {
+	q, _ := sim.NewQuad(sim.DefaultConfig())
+	pack, _ := power.NewPack(3, 3000, 30)
+	ap, _ := New(Config{Quad: q, Battery: pack, TakeoffAltM: 12, Seed: 5})
+	ap.SetGeofence(Geofence{CeilingM: 6})
+	ap.SetEnergyPolicy(EnergyPolicy{})
+	ap.Arm()
+	sawRTL := false
+	ap.RunUntil(func(a *Autopilot) bool {
+		if a.Mode() == ReturnToLaunch {
+			sawRTL = true
+		}
+		return a.Mode() == Disarmed
+	}, 120)
+	if !sawRTL {
+		t.Fatal("altitude ceiling breach never triggered RTL")
+	}
+}
+
+func TestEnergyPolicyBringsItHome(t *testing.T) {
+	q, _ := sim.NewQuad(sim.DefaultConfig())
+	// Small pack: enough to get out but the reserve must turn it around.
+	pack, _ := power.NewPack(3, 260, 80)
+	ap, _ := New(Config{Quad: q, Battery: pack, ComputeW: 5, TakeoffAltM: 5, Seed: 6})
+	ap.SetEnergyPolicy(DefaultEnergyPolicy())
+	if err := ap.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	ap.RunUntil(func(a *Autopilot) bool { return a.Mode() == Hover }, 30)
+	if err := ap.LoadMission(MissionPlan{{Pos: mathx.V3(200, 0, 5)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap.StartMission(); err != nil {
+		t.Fatal(err)
+	}
+	sawEnergyRTL := false
+	ap.RunUntil(func(a *Autopilot) bool {
+		if a.LastEvent() == "energy reserve reached: RTL" {
+			sawEnergyRTL = true
+		}
+		return a.Mode() == Disarmed
+	}, 300)
+	if !sawEnergyRTL {
+		t.Fatal("energy policy never triggered RTL")
+	}
+	// It must actually make it back before the hard drain failsafe.
+	if d := math.Hypot(ap.Quad().State().Pos.X, ap.Quad().State().Pos.Y); d > 8 {
+		t.Errorf("landed %v m from home; energy reserve was insufficient", d)
+	}
+}
+
+func TestEnduranceEstimates(t *testing.T) {
+	ap := newTestAP(t, 5)
+	ap.Arm()
+	ap.RunUntil(func(a *Autopilot) bool { return a.Mode() == Hover }, 30)
+	ap.RunFor(5)
+	e := ap.EstimatedEnduranceMin()
+	// 3000 mAh 3S at ~110 W: ~14-20 min.
+	if e < 8 || e > 30 {
+		t.Errorf("endurance estimate = %.1f min, implausible", e)
+	}
+	ret := ap.EstimatedReturnEnergyWh()
+	if ret <= 0 || ret > 1 {
+		t.Errorf("return energy from hover near home = %v Wh", ret)
+	}
+	if ap.RemainingEnergyWh() <= 0 {
+		t.Error("remaining energy must be positive after a short hover")
+	}
+}
+
+func TestNoBatteryEndurance(t *testing.T) {
+	q, _ := sim.NewQuad(sim.DefaultConfig())
+	ap, _ := New(Config{Quad: q, Seed: 1})
+	if !math.IsInf(ap.RemainingEnergyWh(), 1) {
+		t.Error("battery-less drone should report infinite energy")
+	}
+}
+
+func TestMissionUploadFlow(t *testing.T) {
+	ap := newTestAP(t, 3)
+	items := []mavlink.MissionItem{
+		{Index: 0, X: 5, Y: 0, Z: 5, HoldS: 1},
+		{Index: 1, X: 5, Y: 5, Z: 6, HoldS: 0.5},
+	}
+	for _, it := range items {
+		// Round-trip through the wire encoding like a real upload.
+		decoded, err := mavlink.DecodeMissionItem(mavlink.EncodeMissionItem(it))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ap.HandleMissionItem(decoded); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ap.CommitMission(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ap.mission) != 2 || ap.mission[1].Pos != mathx.V3(5, 5, 6) {
+		t.Fatalf("committed mission = %+v", ap.mission)
+	}
+	// Out-of-order upload is rejected.
+	if err := ap.HandleMissionItem(mavlink.MissionItem{Index: 3}); err == nil {
+		t.Error("out-of-order item accepted")
+	}
+	// Index 0 restarts the staging buffer.
+	if err := ap.HandleMissionItem(mavlink.MissionItem{Index: 0, X: 1, Y: 1, Z: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ap.staged) != 1 {
+		t.Errorf("staging not reset: %d items", len(ap.staged))
+	}
+	// Committing an invalid (underground) staged mission fails.
+	ap.staged = []Waypoint{{Pos: mathx.V3(0, 0, -1)}}
+	if err := ap.CommitMission(); err == nil {
+		t.Error("underground staged mission committed")
+	}
+}

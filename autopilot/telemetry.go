@@ -1,0 +1,75 @@
+package autopilot
+
+import (
+	"dronedse/mavlink"
+)
+
+// Telemetry serializes the autopilot's current state as a burst of MAVLink
+// frames (heartbeat, attitude, position, battery) for the ground station
+// link. seq provides the rolling sequence counter and is advanced by the
+// number of frames emitted.
+func (a *Autopilot) Telemetry(seq *uint8) ([]byte, error) {
+	est := a.EstimatedState()
+	roll, pitch, yaw := est.Att.Euler()
+	ms := uint32(a.Time() * 1000)
+
+	frames := []mavlink.Frame{
+		{MsgID: mavlink.MsgHeartbeat, Payload: mavlink.EncodeHeartbeat(mavlink.Heartbeat{
+			Mode: uint8(a.mode), Armed: a.mode != Disarmed, TimeMS: ms})},
+		{MsgID: mavlink.MsgAttitude, Payload: mavlink.EncodeAttitude(mavlink.Attitude{
+			TimeMS: ms,
+			Roll:   float32(roll), Pitch: float32(pitch), Yaw: float32(yaw),
+			RollRate: float32(est.Omega.X), PitchRate: float32(est.Omega.Y), YawRate: float32(est.Omega.Z)})},
+		{MsgID: mavlink.MsgGlobalPosition, Payload: mavlink.EncodeGlobalPosition(mavlink.GlobalPosition{
+			TimeMS: ms,
+			X:      float32(est.Pos.X), Y: float32(est.Pos.Y), Z: float32(est.Pos.Z),
+			VX: float32(est.Vel.X), VY: float32(est.Vel.Y), VZ: float32(est.Vel.Z)})},
+	}
+	if a.battery != nil {
+		frames = append(frames, mavlink.Frame{
+			MsgID: mavlink.MsgBatteryStatus,
+			Payload: mavlink.EncodeBatteryStatus(mavlink.BatteryStatus{
+				VoltageV: float32(a.battery.Voltage()),
+				SoC:      float32(a.battery.StateOfCharge()),
+				PowerW:   float32(a.TotalPowerW())})})
+	}
+	var out []byte
+	for _, f := range frames {
+		f.Seq = *seq
+		*seq++
+		f.SysID = 1
+		f.CompID = 1
+		raw, err := f.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, raw...)
+	}
+	return out, nil
+}
+
+// HandleCommand applies a ground-station CommandLong to the autopilot,
+// returning an error when the command is not executable in the current mode.
+func (a *Autopilot) HandleCommand(c mavlink.CommandLong) error {
+	switch c.Command {
+	case mavlink.CmdArm:
+		return a.Arm()
+	case mavlink.CmdLand:
+		a.CommandLand()
+		return nil
+	case mavlink.CmdRTL:
+		a.CommandRTL()
+		return nil
+	case mavlink.CmdStartMission:
+		return a.StartMission()
+	default:
+		return ErrUnknownCommand
+	}
+}
+
+// ErrUnknownCommand reports a CommandLong the autopilot does not implement.
+var ErrUnknownCommand = errUnknownCommand{}
+
+type errUnknownCommand struct{}
+
+func (errUnknownCommand) Error() string { return "autopilot: unknown command" }

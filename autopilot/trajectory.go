@@ -1,0 +1,41 @@
+package autopilot
+
+import (
+	"errors"
+
+	"dronedse/control"
+	"dronedse/planner"
+)
+
+// TrajectoryMode flies a time-parametrized trajectory from the planner,
+// feeding the inner loop position AND velocity targets (the feed-forward
+// path of Figure 6) instead of discrete waypoints. On completion the
+// autopilot holds at the trajectory's end.
+const TrajectoryMode Mode = 100
+
+// FlyTrajectory starts trajectory following; the vehicle must be airborne
+// (Hover).
+func (a *Autopilot) FlyTrajectory(tr *planner.Trajectory) error {
+	if tr == nil {
+		return errors.New("autopilot: nil trajectory")
+	}
+	if a.mode != Hover {
+		return errors.New("autopilot: start a trajectory from HOVER")
+	}
+	a.traj = tr
+	a.trajT0 = a.Time()
+	a.mode = TrajectoryMode
+	return nil
+}
+
+// trajectoryTargets samples the active trajectory at the current time.
+func (a *Autopilot) trajectoryTargets() control.Targets {
+	t := a.Time() - a.trajT0
+	pos, vel := a.traj.Sample(t)
+	if t >= a.traj.TotalS {
+		a.mode = Hover
+		a.traj = nil
+		return control.Targets{Position: pos, Yaw: a.yawTarget}
+	}
+	return control.Targets{Position: pos, Velocity: vel, Yaw: a.yawTarget}
+}

@@ -1,0 +1,94 @@
+// Package bench is the experiment harness: one generator per table and
+// figure in the paper's evaluation, each returning structured data plus a
+// text rendering. cmd/figures exposes them on the command line and the
+// repo-root benchmarks (bench_test.go) time and validate them; EXPERIMENTS.md
+// records paper-vs-measured for every row.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table is a generic rendered result: a title, column headers, and rows.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes carries paper-expected values and commentary.
+	Notes []string
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, v := range r {
+			if i < len(widths) && len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	line := func(vals []string) {
+		for i, v := range vals {
+			if i >= len(widths) {
+				break
+			}
+			fmt.Fprintf(&b, "%-*s  ", widths[i], v)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (the artifact's /Drone-CSVs
+// equivalent: the raw data each figure is drawn from).
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(v, ",\"\n") {
+				v = `"` + strings.ReplaceAll(v, `"`, `""`) + `"`
+			}
+			b.WriteString(v)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// f formats a float compactly.
+func f(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// f2 formats with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// sortedKeys returns map keys in sorted order for stable rendering.
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

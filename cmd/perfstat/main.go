@@ -1,0 +1,50 @@
+// Command perfstat is the repo's equivalent of the artifact's
+// perf_ardupilot_loop.sh / perf_ardu_slam.sh scripts (§A.5): it runs the
+// autopilot and SLAM workloads on the trace-driven micro-architecture
+// simulator and prints a perf-stat-style counter table for each
+// configuration — solo and co-resident — including the Figure 15 ratios.
+//
+// Usage:
+//
+//	perfstat                # default 30000 control-loop iterations
+//	perfstat -iters 100000  # longer run
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dronedse/microarch"
+)
+
+func main() {
+	iters := flag.Int("iters", 30000, "control-loop iterations to simulate")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	r := microarch.RunFigure15(*seed, *iters)
+
+	print := func(name string, m microarch.Metrics) {
+		fmt.Printf("\n Performance counter stats for '%s':\n\n", name)
+		fmt.Printf("  %15d      instructions              #  %5.3f  insn per cycle\n",
+			m.Instructions, m.IPC)
+		fmt.Printf("  %15.2f%%     LLC-miss rate\n", 100*m.LLCMissRate)
+		fmt.Printf("  %15.2f%%     branch-miss rate\n", 100*m.BranchMissRate)
+		fmt.Printf("  %15d      dTLB-load-misses          #  %5.3f%% of dTLB accesses\n",
+			m.TLBMisses, 100*m.TLBMissRate)
+	}
+
+	print("autopilot (solo)", r.Autopilot)
+	print("SLAM (solo)", r.SLAM)
+	print("autopilot w/ SLAM co-resident", r.AutopilotWithSLAM)
+
+	fmt.Printf("\n interference summary (paper Figure 15):\n")
+	fmt.Printf("   autopilot TLB misses    : %6.2fx with SLAM co-resident (paper: 4.5x)\n",
+		float64(r.AutopilotWithSLAM.TLBMisses)/float64(r.Autopilot.TLBMisses))
+	fmt.Printf("   autopilot IPC           : %6.2fx slower with SLAM (paper: 1.7x)\n",
+		r.Autopilot.IPC/r.AutopilotWithSLAM.IPC)
+	fmt.Printf("   autopilot LLC miss rate : %.3f -> %.3f\n",
+		r.Autopilot.LLCMissRate, r.AutopilotWithSLAM.LLCMissRate)
+	fmt.Printf("   autopilot branch misses : %.4f -> %.4f\n",
+		r.Autopilot.BranchMissRate, r.AutopilotWithSLAM.BranchMissRate)
+}

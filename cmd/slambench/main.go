@@ -1,0 +1,59 @@
+// Command slambench runs the from-scratch ORB-SLAM-style pipeline over the
+// synthetic EuRoC suite and retimes the measured work ledger on each
+// hardware platform model — Figure 17 and the speedup half of Table 5.
+//
+// Usage:
+//
+//	slambench            # all 11 sequences
+//	slambench -seqs 3    # quick run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dronedse/dataset"
+	"dronedse/mathx"
+	"dronedse/platform"
+	"dronedse/slam"
+)
+
+func main() {
+	seqs := flag.Int("seqs", 0, "limit to first N sequences (0 = all)")
+	flag.Parse()
+
+	specs := dataset.EuRoCSpecs()
+	if *seqs > 0 && *seqs < len(specs) {
+		specs = specs[:*seqs]
+	}
+
+	base := platform.RPi()
+	targets := []platform.Platform{platform.SeparateRPi(), platform.TX2(), platform.FPGA(), platform.ASIC()}
+	speedups := map[string][]float64{}
+
+	fmt.Println("seq    ATE(m)  kfs  RPi ms/frame  sepRPi    TX2     FPGA    ASIC")
+	for _, spec := range specs {
+		seq, err := dataset.Generate(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "slambench:", err)
+			os.Exit(1)
+		}
+		res := slam.RunSequence(seq)
+		rpiT, _, _, _ := base.SeqTime(res.Stats)
+		fmt.Printf("%-5s  %.3f   %3d  %10.1f  ", res.Name, res.ATE, res.Stats.Keyframes,
+			rpiT/float64(res.Frames)*1000)
+		for _, pl := range targets {
+			sp := platform.Speedup(base, pl, res.Stats)
+			speedups[pl.Name] = append(speedups[pl.Name], sp)
+			fmt.Printf("%6.2fx ", sp)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	for _, pl := range targets {
+		fmt.Printf("GMEAN %-13s %.2fx  (paper: %.4gx)  power %.3g W, weight %.0f g\n",
+			pl.Name, mathx.GeoMean(speedups[pl.Name]), pl.PaperSpeedup,
+			pl.PowerOverheadW, pl.WeightOverheadG)
+	}
+}

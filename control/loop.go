@@ -1,0 +1,108 @@
+package control
+
+import (
+	"math"
+
+	"dronedse/mathx"
+	"dronedse/sim"
+)
+
+// Loop couples the plant and the cascade at the Table 2b update frequencies,
+// implementing the time-scale separation of §2.1.3-C. Physics always steps
+// at least at 1 kHz; each controller level fires at its own divisor. The
+// update-rate ablation (§2.1.3-D: the inner loop is physics-limited at
+// 50-500 Hz) swaps Rates and measures the response.
+type Loop struct {
+	Quad  *sim.Quad
+	C     *Cascade
+	Rates Rates
+
+	physicsHz float64
+	steps     int
+}
+
+// NewLoop wires a cascade to a plant at the given rates.
+func NewLoop(q *sim.Quad, rates Rates) *Loop {
+	physHz := math.Max(1000, rates.RateHz)
+	return &Loop{Quad: q, C: NewCascade(q), Rates: rates, physicsHz: physHz}
+}
+
+// Run advances the closed loop for the given duration toward a fixed target,
+// invoking onStep (if non-nil) after every physics step.
+func (l *Loop) Run(target Targets, seconds float64, onStep func(t float64, s sim.State)) {
+	dt := 1 / l.physicsHz
+	posEvery := every(l.physicsHz, l.Rates.PositionHz)
+	attEvery := every(l.physicsHz, l.Rates.AttitudeHz)
+	rateEvery := every(l.physicsHz, l.Rates.RateHz)
+
+	n := int(seconds * l.physicsHz)
+	for i := 0; i < n; i++ {
+		s := l.Quad.State()
+		if l.steps%posEvery == 0 {
+			l.C.UpdatePosition(s, target, float64(posEvery)*dt)
+		}
+		if l.steps%attEvery == 0 {
+			l.C.UpdateAttitude(s, float64(attEvery)*dt)
+		}
+		if l.steps%rateEvery == 0 {
+			l.Quad.CommandThrusts(l.C.UpdateRate(s, float64(rateEvery)*dt))
+		}
+		l.Quad.Step(dt)
+		l.steps++
+		if onStep != nil {
+			onStep(l.Quad.Time(), l.Quad.State())
+		}
+	}
+}
+
+func every(physHz, loopHz float64) int {
+	if loopHz <= 0 {
+		return 1
+	}
+	e := int(math.Round(physHz / loopHz))
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// StepResponse measures the 90%-settling response time (seconds) of a
+// position step of the given size along +X, or a negative value when the
+// loop never settles. It is the Table 2b / inner-loop-rate experiment
+// kernel.
+func StepResponse(quadCfg sim.Config, rates Rates, stepM, maxSeconds float64) float64 {
+	q, err := sim.NewQuad(quadCfg)
+	if err != nil {
+		return -1
+	}
+	l := NewLoop(q, rates)
+	// Start airborne at hover to isolate the translational response.
+	hover := Targets{Position: mathx.V3(0, 0, 10)}
+	q.Teleport(mathx.V3(0, 0, 10))
+	l.Run(hover, 3, nil) // settle into hover
+	start := q.State().Pos
+
+	target := hover
+	target.Position.X = start.X + stepM
+	settled := -1.0
+	t0 := q.Time()
+	need := 0.0
+	l.Run(target, maxSeconds, func(t float64, s sim.State) {
+		if settled >= 0 {
+			return
+		}
+		if math.Abs(s.Pos.X-target.Position.X) < 0.1*stepM &&
+			math.Abs(s.Vel.X) < 0.25 {
+			if need == 0 {
+				need = t
+			}
+			// require it to stay settled for 0.3 s
+			if t-need > 0.3 {
+				settled = need - t0
+			}
+		} else {
+			need = 0
+		}
+	})
+	return settled
+}

@@ -1,0 +1,295 @@
+// Package core implements the paper's primary contribution: the analytical
+// design-space model of §3.2 (Equations 1-7) that composes the component
+// survey (internal/components) with propulsion physics (internal/propulsion)
+// to translate compute power consumption into drone flight time.
+//
+// The pipeline mirrors the paper's procedure (Figure 12):
+//
+//	WeightTotal   = F(4*W_motor, W_esc, W_battery, W_frame, W_props,
+//	                  W_compute, W_sensors, W_wires)            (Eq. 1)
+//	MotorCurrent  = G(WeightTotal, TWR)                         (Eq. 2)
+//	PowerAvg      = H(MotorCurrent*BattV, %FlyingLoad,
+//	                  P_compute, P_sensors)                     (Eq. 3)
+//	BattCapacity  = M(LiPoCapacity, %PowerEff, %LiPoDrainLimit) (Eq. 4)
+//	FlightTime    = N(BattCapacity, PowerAvg)                   (Eq. 5)
+//	%PowerCompute = X(PowerAvg, P_compute)                      (Eq. 6)
+//	+FlightTime   = Z(%PowerCompute, FlightTime)                (Eq. 7)
+//
+// Equation 1 is a fixed point: heavier motors need heavier ESCs and more
+// thrust, which needs heavier motors. Resolve iterates the loop ("if the
+// additional weights necessitate a new motor, we redo the previous steps").
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"dronedse/components"
+	"dronedse/propulsion"
+	"dronedse/units"
+)
+
+// Params are the calibration constants of the model. The defaults are tuned
+// so the modeled whole-drone power of the paper's own 1071 g open-source F450
+// reproduces its measured 130 W at a 30% flying load (§5.1 / Figure 16b).
+type Params struct {
+	// Eff is the propulsion efficiency chain.
+	Eff propulsion.Efficiencies
+	// MotorOversize models catalog granularity: products come in discrete
+	// thrust steps, so the chosen motor's spec current exceeds the
+	// physics minimum by this factor on average.
+	MotorOversize float64
+	// HoverLoad and ManeuverLoad are the paper's flying-load fractions of
+	// maximum current draw (§3.2: 20-30% hovering, 60-70% maneuvering).
+	HoverLoad    float64
+	ManeuverLoad float64
+	// PowerEff is the %PowerEff distribution efficiency of Equation 4.
+	PowerEff float64
+	// WiringBaseG and WiringFrac model wires, power module, RC receiver
+	// and misc mass (Figure 14's long tail) as base + fraction of total.
+	WiringBaseG float64
+	WiringFrac  float64
+}
+
+// DefaultParams returns the calibrated defaults.
+func DefaultParams() Params {
+	return Params{
+		Eff:           propulsion.Efficiencies{FigureOfMerit: 0.60, Motor: 0.80, ESC: 0.93},
+		MotorOversize: 1.35,
+		HoverLoad:     propulsion.HoverLoadFraction,
+		ManeuverLoad:  propulsion.ManeuverLoadFraction,
+		PowerEff:      0.95,
+		WiringBaseG:   15,
+		WiringFrac:    0.03,
+	}
+}
+
+// Spec is a point in the design space: the choices a designer makes before
+// the model resolves the electromechanical consequences.
+type Spec struct {
+	// WheelbaseMM selects the frame class; it dictates the maximum
+	// propeller (Figure 9 pairings).
+	WheelbaseMM float64
+	// Cells is the battery configuration (1S-6S).
+	Cells int
+	// CapacityMah is the battery capacity.
+	CapacityMah float64
+	// TWR is the thrust-to-weight ratio target; the paper uses the
+	// minimum flying value 2 to bound compute's possible contribution.
+	TWR float64
+	// Compute is the computation board (power + weight).
+	Compute components.ComputeTier
+	// SensorsW and SensorsG are extra sensor power and weight (Table 4
+	// external sensors; self-powered LiDARs contribute weight only).
+	SensorsW float64
+	SensorsG float64
+	// PayloadG is additional payload weight.
+	PayloadG float64
+	// ESCClass selects racing vs long-flight ESC weight scaling.
+	ESCClass components.ESCClass
+}
+
+// DefaultSpec returns a 450 mm, 3S, 3000 mAh, TWR-2 design with the basic
+// 3 W compute tier — approximately the paper's open-source drone.
+func DefaultSpec() Spec {
+	return Spec{
+		WheelbaseMM: 450,
+		Cells:       3,
+		CapacityMah: 3000,
+		TWR:         2,
+		Compute:     components.BasicComputeTier,
+		ESCClass:    components.LongFlight,
+	}
+}
+
+// Design is a resolved configuration: the Equation 1 fixed point plus every
+// derived quantity needed by Equations 2-7.
+type Design struct {
+	Spec   Spec
+	Params Params
+
+	// PropInches is the propeller the wheelbase admits.
+	PropInches float64
+	// Weight breakdown (grams).
+	FrameG     float64
+	BatteryG   float64
+	MotorUnitG float64 // one motor
+	ESC4xG     float64 // set of four
+	PropsG     float64 // set of four
+	WiringG    float64
+	TotalG     float64 // Equation 1 output
+
+	// RequiredCurrentA is the physics-minimum per-motor max current
+	// (Equation 2); MotorMaxCurrentA is the chosen motor's spec current
+	// after catalog oversizing.
+	RequiredCurrentA float64
+	MotorMaxCurrentA float64
+	// MotorKv is the selected motor's velocity constant.
+	MotorKv float64
+	// Iterations is how many closure passes Equation 1 took.
+	Iterations int
+}
+
+// Validation errors.
+var (
+	ErrBadWheelbase = errors.New("core: wheelbase must be 40-1100 mm")
+	ErrBadCells     = errors.New("core: cells must be 1-6")
+	ErrBadCapacity  = errors.New("core: capacity must be positive")
+	ErrBadTWR       = errors.New("core: TWR must be at least 1.2 (2 is the flying minimum)")
+	ErrNoConverge   = errors.New("core: weight closure did not converge (design infeasible)")
+)
+
+// Resolve computes the Equation 1 fixed point for a spec.
+func Resolve(spec Spec, p Params) (Design, error) {
+	if spec.WheelbaseMM < 40 || spec.WheelbaseMM > 1100 {
+		return Design{}, fmt.Errorf("%w: %v", ErrBadWheelbase, spec.WheelbaseMM)
+	}
+	if spec.Cells < 1 || spec.Cells > 6 {
+		return Design{}, fmt.Errorf("%w: %d", ErrBadCells, spec.Cells)
+	}
+	if spec.CapacityMah <= 0 {
+		return Design{}, fmt.Errorf("%w: %v", ErrBadCapacity, spec.CapacityMah)
+	}
+	if spec.TWR < 1.2 {
+		return Design{}, fmt.Errorf("%w: %v", ErrBadTWR, spec.TWR)
+	}
+
+	d := Design{Spec: spec, Params: p}
+	d.PropInches = components.MaxPropellerInches(spec.WheelbaseMM)
+	d.FrameG = components.FrameWeightModel(spec.WheelbaseMM)
+	d.BatteryG = components.BatteryWeightModel(spec.Cells, spec.CapacityMah)
+	d.PropsG = 4 * components.PropellerWeightG(d.PropInches)
+
+	fixed := d.FrameG + d.BatteryG + d.PropsG +
+		spec.Compute.WeightG + spec.SensorsG + spec.PayloadG
+
+	propD := units.InchToMeter(d.PropInches)
+	v := units.CellsToVoltage(spec.Cells)
+
+	total := fixed * 1.5 // initial guess
+	for iter := 0; iter < 200; iter++ {
+		perMotorThrustG := spec.TWR * total / 4
+		motorG := components.MotorWeightModel(perMotorThrustG)
+		reqA := propulsion.MotorCurrent(
+			units.GramsToNewtons(perMotorThrustG), propD, v, p.Eff)
+		escG := components.ESCWeightModel(spec.ESCClass, reqA*p.MotorOversize)
+		wiring := p.WiringBaseG + p.WiringFrac*total
+		next := fixed + 4*motorG + escG + wiring
+
+		d.MotorUnitG = motorG
+		d.ESC4xG = escG
+		d.WiringG = wiring
+		d.RequiredCurrentA = reqA
+		d.Iterations = iter + 1
+
+		if math.Abs(next-total) < 1e-9*(1+total) {
+			total = next
+			break
+		}
+		// Damped update keeps the slightly super-linear motor weight
+		// model from oscillating on heavy designs.
+		total = 0.5*total + 0.5*next
+		if total > 1e6 || math.IsNaN(total) || math.IsInf(total, 0) {
+			return Design{}, ErrNoConverge
+		}
+		if iter == 199 {
+			return Design{}, ErrNoConverge
+		}
+	}
+	d.TotalG = total
+	d.MotorMaxCurrentA = d.RequiredCurrentA * p.MotorOversize
+	d.MotorKv = propulsion.KvForDesign(
+		units.GramsToNewtons(spec.TWR*total/4), propD, v)
+	return d, nil
+}
+
+// BasicWeightG is Figure 9's x-axis: total weight excluding battery, ESCs,
+// and motors.
+func (d Design) BasicWeightG() float64 {
+	return d.TotalG - d.BatteryG - d.ESC4xG - 4*d.MotorUnitG
+}
+
+// Voltage is the pack's nominal voltage.
+func (d Design) Voltage() float64 { return units.CellsToVoltage(d.Spec.Cells) }
+
+// MaxElectricalPowerW is the whole-drone power at full throttle.
+func (d Design) MaxElectricalPowerW() float64 {
+	return 4*d.MotorMaxCurrentA*d.Voltage() + d.Spec.Compute.PowerW + d.Spec.SensorsW
+}
+
+// AvgPowerW is Equation 3: propulsion at a flying-load fraction of maximum
+// current draw, plus compute and sensor power.
+func (d Design) AvgPowerW(load float64) float64 {
+	if load < 0 {
+		load = 0
+	}
+	return 4*d.MotorMaxCurrentA*d.Voltage()*load +
+		d.Spec.Compute.PowerW + d.Spec.SensorsW
+}
+
+// HoverPowerW is Equation 3 at the hovering load band.
+func (d Design) HoverPowerW() float64 { return d.AvgPowerW(d.Params.HoverLoad) }
+
+// ManeuverPowerW is Equation 3 at the maneuvering load band.
+func (d Design) ManeuverPowerW() float64 { return d.AvgPowerW(d.Params.ManeuverLoad) }
+
+// UsableEnergyWh is Equation 4: rated energy derated by the LiPo drain limit
+// and the power-distribution efficiency.
+func (d Design) UsableEnergyWh() float64 {
+	return units.MahToWh(d.Spec.CapacityMah, d.Voltage()) *
+		units.LiPoDrainLimit * d.Params.PowerEff
+}
+
+// FlightTimeMin is Equation 5 at a flying load: usable energy over average
+// power, in minutes.
+func (d Design) FlightTimeMin(load float64) float64 {
+	p := d.AvgPowerW(load)
+	if p <= 0 {
+		return 0
+	}
+	return d.UsableEnergyWh() / p * 60
+}
+
+// HoverFlightTimeMin is the headline hovering flight time.
+func (d Design) HoverFlightTimeMin() float64 { return d.FlightTimeMin(d.Params.HoverLoad) }
+
+// ComputeSharePct is Equation 6: the percentage of total power consumed by
+// computation at a flying load.
+func (d Design) ComputeSharePct(load float64) float64 {
+	p := d.AvgPowerW(load)
+	if p <= 0 {
+		return 0
+	}
+	return 100 * d.Spec.Compute.PowerW / p
+}
+
+// GainedFlightTimeMin is Equation 7 evaluated exactly: the flight time gained
+// (or lost, negative) by swapping the compute platform for one with the given
+// power and weight — the whole design is re-resolved because weight changes
+// ripple through motors and ESCs (Table 5's columns).
+func GainedFlightTimeMin(base Design, newComputeW, newComputeG, load float64) (float64, error) {
+	spec := base.Spec
+	spec.Compute = components.ComputeTier{
+		Name:    "swapped",
+		PowerW:  newComputeW,
+		WeightG: newComputeG,
+	}
+	swapped, err := Resolve(spec, base.Params)
+	if err != nil {
+		return 0, err
+	}
+	return swapped.FlightTimeMin(load) - base.FlightTimeMin(load), nil
+}
+
+// ApproxGainedFlightTimeMin is the paper's back-of-envelope form of
+// Equation 7 used in §5.2 ("saving 10 W by moving from TX2 to FPGA gives us
+// +1 minute of flight time (≈ 10/140 × 15 min)"): the saved power over the
+// pre-swap total power, times the baseline flight time. It ignores the
+// weight ripple that GainedFlightTimeMin resolves exactly.
+func ApproxGainedFlightTimeMin(totalPowerW, savedPowerW, baselineFlightMin float64) float64 {
+	if totalPowerW <= 0 {
+		return 0
+	}
+	return savedPowerW / totalPowerW * baselineFlightMin
+}

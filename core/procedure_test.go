@@ -1,0 +1,89 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dronedse/components"
+)
+
+func TestProcedureBasicApplication(t *testing.T) {
+	// A mapping application: FPV camera + 20 W compute, 15 minutes.
+	cam, _ := components.FindBoard("RunCam Night Eagle 2")
+	rec, err := RunProcedure(Requirements{
+		ExtraSensors: []components.Board{cam},
+		Compute:      components.AdvancedComputeTier,
+		MinFlightMin: 15,
+	}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.FlightMin < 15 {
+		t.Errorf("recommended design flies %.1f min < 15", rec.FlightMin)
+	}
+	if rec.ComputeSharePct <= 0 || rec.ComputeSharePct >= 40 {
+		t.Errorf("compute share = %v%%", rec.ComputeSharePct)
+	}
+	if rec.GainedByHalvingComputeMin <= 0 {
+		t.Error("halving 20 W of compute must gain flight time")
+	}
+	if !strings.Contains(rec.Report(), "selected") {
+		t.Errorf("report missing selection:\n%s", rec.Report())
+	}
+}
+
+func TestProcedureGrowsFrameForLiDAR(t *testing.T) {
+	// A LiDAR survey drone (Ultra Puck, 925 g, self-powered): small
+	// frames can't lift it with endurance; the procedure must climb to a
+	// large class.
+	lidar, _ := components.FindBoard("Ultra Puck")
+	light, err := RunProcedure(Requirements{
+		Compute:      components.BasicComputeTier,
+		MinFlightMin: 12,
+	}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := RunProcedure(Requirements{
+		ExtraSensors: []components.Board{lidar},
+		Compute:      components.BasicComputeTier,
+		MinFlightMin: 12,
+	}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.Design.Spec.WheelbaseMM <= light.Design.Spec.WheelbaseMM {
+		t.Errorf("LiDAR drone wheelbase %.0f not above bare drone %.0f",
+			heavy.Design.Spec.WheelbaseMM, light.Design.Spec.WheelbaseMM)
+	}
+	// Self-powered: the LiDAR must not add compute share, only weight.
+	if heavy.Design.Spec.SensorsW != 0 {
+		t.Error("self-powered LiDAR charged to the main pack")
+	}
+}
+
+func TestProcedureImpossibleRequirements(t *testing.T) {
+	_, err := RunProcedure(Requirements{
+		Compute:      components.AdvancedComputeTier,
+		PayloadG:     5000,
+		MinFlightMin: 60,
+	}, DefaultParams())
+	if !errors.Is(err, ErrNoFeasibleDesign) {
+		t.Errorf("err = %v, want ErrNoFeasibleDesign", err)
+	}
+}
+
+func TestProcedureWeightCap(t *testing.T) {
+	capped, err := RunProcedure(Requirements{
+		Compute:      components.BasicComputeTier,
+		MinFlightMin: 10,
+		MaxWeightG:   900,
+	}, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Design.TotalG > 900 {
+		t.Errorf("weight cap violated: %.0f g", capped.Design.TotalG)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+
+	"dronedse/components"
+	"dronedse/propulsion"
+	"dronedse/units"
+)
+
+// SweepPoint is one resolved configuration along a Figure 10 battery sweep.
+type SweepPoint struct {
+	CapacityMah             float64
+	TotalWeightG            float64
+	HoverPowerW             float64
+	ManeuverPowerW          float64
+	HoverFlightMin          float64
+	ComputeShareHoverPct    float64
+	ComputeShareManeuverPct float64
+	Design                  Design
+}
+
+// SweepCapacity resolves the design at each battery capacity from loMah to
+// hiMah in stepMah increments (the paper sweeps 1000-8000 mAh), returning
+// the Figure 10 series for one wheelbase / cell-count / compute choice.
+// Infeasible points are skipped.
+func SweepCapacity(spec Spec, p Params, loMah, hiMah, stepMah float64) []SweepPoint {
+	var out []SweepPoint
+	for cap := loMah; cap <= hiMah+1e-9; cap += stepMah {
+		s := spec
+		s.CapacityMah = cap
+		d, err := Resolve(s, p)
+		if err != nil {
+			continue
+		}
+		out = append(out, SweepPoint{
+			CapacityMah:             cap,
+			TotalWeightG:            d.TotalG,
+			HoverPowerW:             d.HoverPowerW(),
+			ManeuverPowerW:          d.ManeuverPowerW(),
+			HoverFlightMin:          d.HoverFlightTimeMin(),
+			ComputeShareHoverPct:    d.ComputeSharePct(p.HoverLoad),
+			ComputeShareManeuverPct: d.ComputeSharePct(p.ManeuverLoad),
+			Design:                  d,
+		})
+	}
+	return out
+}
+
+// BestConfig searches cells x capacity for the configuration with the
+// longest hovering flight time — the "Best Configuration" annotation of
+// Figures 10a-c. It returns ok=false when nothing is feasible.
+func BestConfig(spec Spec, p Params, cellsOptions []int, loMah, hiMah, stepMah float64) (Design, bool) {
+	var best Design
+	bestMin := -1.0
+	for _, cells := range cellsOptions {
+		s := spec
+		s.Cells = cells
+		for _, pt := range SweepCapacity(s, p, loMah, hiMah, stepMah) {
+			if ft := pt.HoverFlightMin; ft > bestMin {
+				bestMin = ft
+				best = pt.Design
+			}
+		}
+	}
+	return best, bestMin >= 0
+}
+
+// MotorCurrentPoint is one Figure 9 sample: the minimum required per-motor
+// max current draw for a drone of the given basic weight.
+type MotorCurrentPoint struct {
+	BasicWeightG float64
+	CurrentA     float64
+	Kv           float64
+}
+
+// MotorCurrentVsBasicWeight reproduces one Figure 9 line: for each basic
+// weight (everything except battery, ESCs and motors — the figure's x-axis
+// convention), it closes the motor/ESC weight loop at the target TWR and
+// returns the per-motor max current and matching Kv for the wheelbase's
+// propeller and the given supply.
+func MotorCurrentVsBasicWeight(wheelbaseMM float64, cells int, twr float64, p Params, basicWeightsG []float64) []MotorCurrentPoint {
+	propIn := components.MaxPropellerInches(wheelbaseMM)
+	propD := units.InchToMeter(propIn)
+	v := units.CellsToVoltage(cells)
+	out := make([]MotorCurrentPoint, 0, len(basicWeightsG))
+	for _, basic := range basicWeightsG {
+		// Close the motor+ESC loop on top of the basic weight.
+		total := basic * 1.3
+		var reqA float64
+		converged := false
+		for iter := 0; iter < 200; iter++ {
+			perMotorThrustG := twr * total / 4
+			motorG := components.MotorWeightModel(perMotorThrustG)
+			reqA = propulsion.MotorCurrent(
+				units.GramsToNewtons(perMotorThrustG), propD, v, p.Eff)
+			escG := components.ESCWeightModel(components.LongFlight, reqA*p.MotorOversize)
+			next := basic + 4*motorG + escG
+			if math.Abs(next-total) < 1e-9*(1+total) {
+				total = next
+				converged = true
+				break
+			}
+			total = 0.5*total + 0.5*next
+			if total > 1e6 || math.IsNaN(total) {
+				break
+			}
+		}
+		if !converged {
+			continue
+		}
+		out = append(out, MotorCurrentPoint{
+			BasicWeightG: basic,
+			CurrentA:     reqA,
+			Kv: propulsion.KvForDesign(
+				units.GramsToNewtons(twr*total/4), propD, v),
+		})
+	}
+	return out
+}
+
+// MinFeasibleBasicWeightG estimates Figure 9's "Min. Possible Weight Line":
+// the lightest basic weight a wheelbase class supports (bare frame, smallest
+// controller, props and wiring, no payload).
+func MinFeasibleBasicWeightG(wheelbaseMM float64, p Params) float64 {
+	frame := components.FrameWeightModel(wheelbaseMM)
+	props := 4 * components.PropellerWeightG(components.MaxPropellerInches(wheelbaseMM))
+	const minController = 8 // lightest Table 4 basic controller
+	basic := frame + props + minController
+	return basic + p.WiringBaseG + p.WiringFrac*basic
+}

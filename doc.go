@@ -1,0 +1,12 @@
+// Package dronedse is a Go reproduction of "Quantifying the Design-Space
+// Tradeoffs in Autonomous Drones" (Hadidi et al., ASPLOS 2021): an
+// analytical drone design-space model built from a component survey and
+// propulsion physics, a full simulated flight stack (6-DOF plant, sensors,
+// EKF, cascaded PID, autopilot, MAVLink), a from-scratch visual SLAM
+// pipeline with hardware platform models, and a trace-driven
+// micro-architecture simulator — plus a harness that regenerates every
+// table and figure in the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package dronedse

@@ -1,0 +1,168 @@
+// Package dronekit is the high-level-functions layer of the paper's stack
+// (§4.1): a DroneKit-style API that "allows us to connect to the drone,
+// issue flight commands, and monitor the drone", abstracting the MAVLink
+// plumbing away from application code. It wraps the autopilot the way
+// DroneKit wraps ArduCopter — blocking helpers for the common verbs plus
+// attribute observation — and is what the examples and ground-station
+// applications program against.
+package dronekit
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dronedse/autopilot"
+	"dronedse/mathx"
+	"dronedse/planner"
+)
+
+// Vehicle is a connected drone.
+type Vehicle struct {
+	ap *autopilot.Autopilot
+	// StepBudgetS caps how much simulated time any blocking call may
+	// consume before timing out.
+	StepBudgetS float64
+}
+
+// Connect wraps an autopilot instance. (With the simulator in-process the
+// "connection" is direct; a remote deployment would speak MAVLink through
+// dronedse/groundstation instead.)
+func Connect(ap *autopilot.Autopilot) (*Vehicle, error) {
+	if ap == nil {
+		return nil, errors.New("dronekit: nil autopilot")
+	}
+	return &Vehicle{ap: ap, StepBudgetS: 300}, nil
+}
+
+// Autopilot exposes the wrapped autopilot for advanced use.
+func (v *Vehicle) Autopilot() *autopilot.Autopilot { return v.ap }
+
+// Attributes is the DroneKit-style snapshot of vehicle state.
+type Attributes struct {
+	Mode       string
+	Armed      bool
+	Location   mathx.Vec3
+	Velocity   mathx.Vec3
+	Heading    float64
+	BatterySoC float64
+	PowerW     float64
+	// EnduranceMin is the live remaining-flight-time estimate.
+	EnduranceMin float64
+	TimeS        float64
+}
+
+// Attributes reads the current vehicle state.
+func (v *Vehicle) Attributes() Attributes {
+	est := v.ap.EstimatedState()
+	_, _, yaw := est.Att.Euler()
+	a := Attributes{
+		Mode:     v.ap.Mode().String(),
+		Armed:    v.ap.Mode() != autopilot.Disarmed,
+		Location: est.Pos,
+		Velocity: est.Vel,
+		Heading:  yaw,
+		PowerW:   v.ap.TotalPowerW(),
+		TimeS:    v.ap.Time(),
+	}
+	if b := v.ap.Battery(); b != nil {
+		a.BatterySoC = b.StateOfCharge()
+		a.EnduranceMin = v.ap.EstimatedEnduranceMin()
+	}
+	return a
+}
+
+// ErrTimeout reports a blocking call that exceeded the step budget.
+var ErrTimeout = errors.New("dronekit: operation timed out")
+
+// waitFor advances the stack until cond holds or the budget runs out.
+func (v *Vehicle) waitFor(cond func() bool, budgetS float64) error {
+	if v.ap.RunUntil(func(*autopilot.Autopilot) bool { return cond() }, budgetS) {
+		return nil
+	}
+	return fmt.Errorf("%w after %.0f simulated seconds (mode %v)",
+		ErrTimeout, budgetS, v.ap.Mode())
+}
+
+// ArmAndTakeoff arms the vehicle and blocks until it hovers at the
+// configured takeoff altitude — DroneKit's arm_and_takeoff recipe.
+func (v *Vehicle) ArmAndTakeoff() error {
+	if err := v.ap.Arm(); err != nil {
+		return err
+	}
+	return v.waitFor(func() bool { return v.ap.Mode() == autopilot.Hover }, v.StepBudgetS)
+}
+
+// GotoLocation flies to a position and blocks until within acceptRadiusM
+// (simple_goto). The vehicle ends loitering at the target.
+func (v *Vehicle) GotoLocation(p mathx.Vec3, acceptRadiusM float64) error {
+	if acceptRadiusM <= 0 {
+		acceptRadiusM = 0.75
+	}
+	if err := v.ap.LoadMission(autopilot.MissionPlan{{Pos: p, HoldS: 3600, AcceptRadiusM: acceptRadiusM}}); err != nil {
+		return err
+	}
+	if err := v.ap.StartMission(); err != nil {
+		return err
+	}
+	err := v.waitFor(func() bool {
+		return v.ap.EstimatedState().Pos.Sub(p).Norm() < acceptRadiusM
+	}, v.StepBudgetS)
+	// Hand control back to a plain hover at the target.
+	v.ap.CommandHover()
+	return err
+}
+
+// FlyMission uploads and flies a waypoint mission to completion (the
+// vehicle RTLs and lands when done).
+func (v *Vehicle) FlyMission(plan autopilot.MissionPlan) error {
+	if err := v.ap.LoadMission(plan); err != nil {
+		return err
+	}
+	if err := v.ap.StartMission(); err != nil {
+		return err
+	}
+	return v.waitFor(func() bool { return v.ap.Mode() == autopilot.Disarmed }, v.StepBudgetS)
+}
+
+// FlyTrajectory follows a planned trajectory and blocks until it completes.
+func (v *Vehicle) FlyTrajectory(tr *planner.Trajectory) error {
+	if err := v.ap.FlyTrajectory(tr); err != nil {
+		return err
+	}
+	return v.waitFor(func() bool { return v.ap.Mode() == autopilot.Hover }, tr.TotalS+v.StepBudgetS)
+}
+
+// ReturnToLaunch commands RTL and blocks through landing and disarm.
+func (v *Vehicle) ReturnToLaunch() error {
+	v.ap.CommandRTL()
+	return v.waitFor(func() bool { return v.ap.Mode() == autopilot.Disarmed }, v.StepBudgetS)
+}
+
+// Land lands in place and blocks until disarmed.
+func (v *Vehicle) Land() error {
+	v.ap.CommandLand()
+	return v.waitFor(func() bool { return v.ap.Mode() == autopilot.Disarmed }, v.StepBudgetS)
+}
+
+// Observe runs the stack for the given simulated duration, invoking fn at
+// the given period with fresh attributes — the attribute-listener pattern.
+func (v *Vehicle) Observe(durationS, periodS float64, fn func(Attributes)) {
+	if periodS <= 0 {
+		periodS = 1
+	}
+	start := v.ap.Time()
+	next := start
+	v.ap.RunUntil(func(a *autopilot.Autopilot) bool {
+		if a.Time() >= next {
+			next += periodS
+			fn(v.Attributes())
+		}
+		return a.Time() >= start+durationS
+	}, durationS+1)
+}
+
+// WallClock converts simulated seconds to a time.Duration (telemetry UIs).
+func WallClock(simS float64) time.Duration {
+	return time.Duration(simS * float64(time.Second))
+}

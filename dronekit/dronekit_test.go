@@ -1,0 +1,168 @@
+package dronekit
+
+import (
+	"errors"
+	"testing"
+
+	"dronedse/autopilot"
+	"dronedse/mathx"
+	"dronedse/planner"
+	"dronedse/power"
+	"dronedse/sim"
+)
+
+func newVehicle(t *testing.T) *Vehicle {
+	t.Helper()
+	q, err := sim.NewQuad(sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack, err := power.NewPack(3, 3000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := autopilot.New(autopilot.Config{
+		Quad: q, Battery: pack, ComputeW: 4.14, TakeoffAltM: 5, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Connect(ap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestConnectValidation(t *testing.T) {
+	if _, err := Connect(nil); err == nil {
+		t.Error("nil autopilot accepted")
+	}
+}
+
+func TestArmAndTakeoff(t *testing.T) {
+	v := newVehicle(t)
+	attrs := v.Attributes()
+	if attrs.Armed || attrs.Mode != "DISARMED" {
+		t.Fatalf("initial attributes = %+v", attrs)
+	}
+	if err := v.ArmAndTakeoff(); err != nil {
+		t.Fatal(err)
+	}
+	attrs = v.Attributes()
+	if !attrs.Armed || attrs.Mode != "HOVER" {
+		t.Fatalf("post-takeoff attributes = %+v", attrs)
+	}
+	if attrs.Location.Z < 4 || attrs.Location.Z > 6 {
+		t.Errorf("takeoff altitude = %v", attrs.Location.Z)
+	}
+	if attrs.EnduranceMin < 5 || attrs.EnduranceMin > 40 {
+		t.Errorf("endurance = %v min", attrs.EnduranceMin)
+	}
+	// Double takeoff fails cleanly.
+	if err := v.ArmAndTakeoff(); err == nil {
+		t.Error("second takeoff accepted")
+	}
+}
+
+func TestGotoLocation(t *testing.T) {
+	v := newVehicle(t)
+	if err := v.ArmAndTakeoff(); err != nil {
+		t.Fatal(err)
+	}
+	target := mathx.V3(12, -4, 7)
+	if err := v.GotoLocation(target, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := v.Attributes().Location.Sub(target).Norm(); d > 1.5 {
+		t.Errorf("arrived %v m from target", d)
+	}
+	if v.Attributes().Mode != "HOVER" {
+		t.Errorf("mode after goto = %v", v.Attributes().Mode)
+	}
+}
+
+func TestFlyMissionAndRTL(t *testing.T) {
+	v := newVehicle(t)
+	if err := v.ArmAndTakeoff(); err != nil {
+		t.Fatal(err)
+	}
+	plan := autopilot.MissionPlan{
+		{Pos: mathx.V3(8, 0, 5), HoldS: 0.5},
+		{Pos: mathx.V3(8, 8, 6), HoldS: 0.5},
+	}
+	if err := v.FlyMission(plan); err != nil {
+		t.Fatal(err)
+	}
+	attrs := v.Attributes()
+	if attrs.Armed {
+		t.Error("still armed after mission completion")
+	}
+}
+
+func TestVehicleTrajectory(t *testing.T) {
+	v := newVehicle(t)
+	if err := v.ArmAndTakeoff(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := planner.PlanTrajectory([]mathx.Vec3{
+		{X: 0, Y: 0, Z: 5}, {X: 8, Y: 4, Z: 6},
+	}, 3, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.FlyTrajectory(tr); err != nil {
+		t.Fatal(err)
+	}
+	if d := v.Attributes().Location.Sub(tr.End()).Norm(); d > 1.5 {
+		t.Errorf("trajectory ended %v m from goal", d)
+	}
+	if err := v.ReturnToLaunch(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Attributes().Armed {
+		t.Error("still armed after RTL")
+	}
+}
+
+func TestLand(t *testing.T) {
+	v := newVehicle(t)
+	if err := v.ArmAndTakeoff(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Land(); err != nil {
+		t.Fatal(err)
+	}
+	if v.Attributes().Location.Z > 0.2 {
+		t.Errorf("altitude after landing = %v", v.Attributes().Location.Z)
+	}
+}
+
+func TestObserve(t *testing.T) {
+	v := newVehicle(t)
+	if err := v.ArmAndTakeoff(); err != nil {
+		t.Fatal(err)
+	}
+	var samples []Attributes
+	v.Observe(5, 1, func(a Attributes) { samples = append(samples, a) })
+	if len(samples) < 5 || len(samples) > 7 {
+		t.Errorf("observed %d samples in 5 s at 1 Hz", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].TimeS <= samples[i-1].TimeS {
+			t.Fatal("attribute timestamps not increasing")
+		}
+	}
+}
+
+func TestTimeoutSurfaces(t *testing.T) {
+	v := newVehicle(t)
+	v.StepBudgetS = 0.2 // absurdly small budget
+	err := v.ArmAndTakeoff()
+	if err == nil {
+		t.Fatal("takeoff within 0.2 simulated seconds?")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Errorf("err = %v, want ErrTimeout", err)
+	}
+}

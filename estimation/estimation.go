@@ -1,0 +1,243 @@
+// Package estimation is the shared-libraries layer of the stack (Figure 5):
+// sensor fusion producing the state estimate the inner loop controls
+// against. It provides a quaternion complementary filter for attitude and a
+// six-state extended Kalman filter (position + velocity) fusing IMU
+// dead-reckoning with GPS and barometer — the EKF the paper names as the
+// canonical shared-library algorithm.
+package estimation
+
+import (
+	"math"
+
+	"dronedse/mathx"
+	"dronedse/sensors"
+	"dronedse/units"
+)
+
+// AttitudeFilter is a Mahony-style quaternion complementary filter: gyro
+// integration corrected toward the accelerometer gravity direction
+// (roll/pitch) and the magnetometer heading (yaw), with on-line gyro-bias
+// estimation driven by the accel correction (the Mahony Ki term). The low
+// proportional gain keeps sustained-acceleration specific force from
+// polluting the attitude; the bias integrator removes the slow gyro drift
+// that low gain would otherwise leave behind.
+type AttitudeFilter struct {
+	// AccelGain blends the accel correction per second (small: trust gyro
+	// short-term).
+	AccelGain float64
+	// BiasGain integrates the persistent correction into a gyro-bias
+	// estimate.
+	BiasGain float64
+	// MagGain blends the yaw correction per second.
+	MagGain float64
+
+	q    mathx.Quat
+	bias mathx.Vec3
+}
+
+// NewAttitudeFilter returns a filter initialized level.
+func NewAttitudeFilter() *AttitudeFilter {
+	return &AttitudeFilter{AccelGain: 0.15, BiasGain: 0.03, MagGain: 0.3, q: mathx.QuatIdentity()}
+}
+
+// PredictGyro integrates the bias-corrected body rate over dt.
+func (f *AttitudeFilter) PredictGyro(gyro mathx.Vec3, dt float64) {
+	f.q = f.q.Integrate(gyro.Sub(f.bias), dt)
+}
+
+// GyroBias returns the current gyro-bias estimate.
+func (f *AttitudeFilter) GyroBias() mathx.Vec3 { return f.bias }
+
+// CorrectAccel nudges roll/pitch so the measured specific force aligns with
+// gravity and integrates the residual into the gyro-bias estimate. Valid
+// when the vehicle is not accelerating hard; the filter gates on the
+// measured norm being near g.
+func (f *AttitudeFilter) CorrectAccel(accel mathx.Vec3, dt float64) {
+	n := accel.Norm()
+	if n < 0.5*units.Gravity || n > 1.5*units.Gravity {
+		return // dynamic maneuver: accel direction is not gravity
+	}
+	// Gravity direction in body frame per current estimate vs measured.
+	est := f.q.RotateInv(mathx.V3(0, 0, 1))
+	meas := accel.Normalized()
+	e := est.Cross(meas) // error rotation axis, body frame
+	f.q = f.q.Integrate(e.Scale(f.AccelGain*dt).Neg(), 1).Normalized()
+	// Mahony Ki: a persistent correction means the gyro is biased.
+	f.bias = f.bias.Add(e.Scale(f.BiasGain * dt)).Clamp(0.05)
+}
+
+// CorrectYaw nudges the heading toward a magnetometer yaw measurement.
+func (f *AttitudeFilter) CorrectYaw(yawMeas float64, dt float64) {
+	_, _, yaw := f.q.Euler()
+	err := wrapAngle(yawMeas - yaw)
+	f.q = mathx.QuatFromAxisAngle(mathx.V3(0, 0, 1), err*f.MagGain*dt).Mul(f.q).Normalized()
+}
+
+// Attitude returns the current estimate.
+func (f *AttitudeFilter) Attitude() mathx.Quat { return f.q }
+
+func wrapAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a < -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// PosVelEKF is a six-state [px py pz vx vy vz] extended Kalman filter.
+// Prediction integrates the world-frame acceleration recovered from the IMU
+// specific force and the attitude estimate; updates fuse GPS position,
+// GPS velocity, and barometric altitude at their Table 2a rates.
+type PosVelEKF struct {
+	x []float64    // state
+	p *mathx.Dense // covariance
+
+	// AccelNoise is the process noise driven by accelerometer error
+	// (m/s^2, 1-sigma).
+	AccelNoise float64
+}
+
+// NewPosVelEKF returns a filter at the origin with loose covariance.
+func NewPosVelEKF() *PosVelEKF {
+	p := mathx.DenseIdentity(6).Scale(10)
+	return &PosVelEKF{x: make([]float64, 6), p: p, AccelNoise: 0.8}
+}
+
+// Predict advances the state with a world-frame acceleration over dt.
+func (k *PosVelEKF) Predict(accelWorld mathx.Vec3, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	a := []float64{accelWorld.X, accelWorld.Y, accelWorld.Z}
+	for i := 0; i < 3; i++ {
+		k.x[i] += k.x[3+i]*dt + 0.5*a[i]*dt*dt
+		k.x[3+i] += a[i] * dt
+	}
+	// F = [I, dt*I; 0, I]; P = F P F^T + Q
+	f := mathx.DenseIdentity(6)
+	for i := 0; i < 3; i++ {
+		f.Set(i, 3+i, dt)
+	}
+	q := mathx.NewDense(6, 6)
+	s2 := k.AccelNoise * k.AccelNoise
+	for i := 0; i < 3; i++ {
+		q.Set(i, i, 0.25*dt*dt*dt*dt*s2)
+		q.Set(i, 3+i, 0.5*dt*dt*dt*s2)
+		q.Set(3+i, i, 0.5*dt*dt*dt*s2)
+		q.Set(3+i, 3+i, dt*dt*s2)
+	}
+	k.p = f.Mul(k.p).Mul(f.Transpose()).Add(q)
+	k.p.Symmetrize()
+}
+
+// update applies a linear measurement z = H x + v with noise variances r.
+func (k *PosVelEKF) update(idx []int, z, r []float64) {
+	m := len(idx)
+	// S = H P H^T + R, computed directly from the indexed rows/cols.
+	s := mathx.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			s.Set(i, j, k.p.At(idx[i], idx[j]))
+		}
+		s.Addf(i, i, r[i])
+	}
+	// K = P H^T S^-1 — solve S^T X^T = (P H^T)^T column-wise via Cholesky.
+	pht := mathx.NewDense(6, m)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < m; j++ {
+			pht.Set(i, j, k.p.At(i, idx[j]))
+		}
+	}
+	// innovation
+	innov := make([]float64, m)
+	for j := 0; j < m; j++ {
+		innov[j] = z[j] - k.x[idx[j]]
+	}
+	// gain rows: for each state i, K_i = row_i(P H^T) S^-1, i.e. solve
+	// S y = (P H^T)_i^T since S is symmetric.
+	kg := mathx.NewDense(6, m)
+	for i := 0; i < 6; i++ {
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			row[j] = pht.At(i, j)
+		}
+		y, ok := s.SolveCholesky(row)
+		if !ok {
+			return // measurement rejected; covariance degenerate
+		}
+		for j := 0; j < m; j++ {
+			kg.Set(i, j, y[j])
+		}
+	}
+	// x += K innov
+	for i := 0; i < 6; i++ {
+		for j := 0; j < m; j++ {
+			k.x[i] += kg.At(i, j) * innov[j]
+		}
+	}
+	// P = (I - K H) P : (KH)_{i,l} = sum_j K_{i,j} [l == idx[j]]
+	kh := mathx.NewDense(6, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < m; j++ {
+			kh.Addf(i, idx[j], kg.At(i, j))
+		}
+	}
+	k.p = mathx.DenseIdentity(6).Sub(kh).Mul(k.p)
+	k.p.Symmetrize()
+}
+
+// UpdateGPS fuses a GPS fix (position + velocity).
+func (k *PosVelEKF) UpdateGPS(fix sensors.GPSSample, posStd, velStd float64) {
+	k.update(
+		[]int{0, 1, 2, 3, 4, 5},
+		[]float64{fix.Pos.X, fix.Pos.Y, fix.Pos.Z, fix.Vel.X, fix.Vel.Y, fix.Vel.Z},
+		[]float64{posStd * posStd, posStd * posStd, posStd * posStd * 2.25,
+			velStd * velStd, velStd * velStd, velStd * velStd},
+	)
+}
+
+// UpdateBaro fuses a barometric altitude.
+func (k *PosVelEKF) UpdateBaro(alt float64, std float64) {
+	k.update([]int{2}, []float64{alt}, []float64{std * std})
+}
+
+// Position returns the position estimate.
+func (k *PosVelEKF) Position() mathx.Vec3 { return mathx.V3(k.x[0], k.x[1], k.x[2]) }
+
+// Velocity returns the velocity estimate.
+func (k *PosVelEKF) Velocity() mathx.Vec3 { return mathx.V3(k.x[3], k.x[4], k.x[5]) }
+
+// Covariance returns a copy of the covariance matrix (tests and telemetry).
+func (k *PosVelEKF) Covariance() *mathx.Dense { return k.p.Clone() }
+
+// Estimator couples the attitude filter and the EKF into the full fusion
+// stack consumed by the autopilot.
+type Estimator struct {
+	Att *AttitudeFilter
+	Pos *PosVelEKF
+}
+
+// NewEstimator builds the default estimator.
+func NewEstimator() *Estimator {
+	return &Estimator{Att: NewAttitudeFilter(), Pos: NewPosVelEKF()}
+}
+
+// OnIMU processes one IMU sample: attitude prediction/correction plus EKF
+// prediction using the specific force rotated by the attitude estimate.
+func (e *Estimator) OnIMU(s sensors.IMUSample, dt float64) {
+	e.Att.PredictGyro(s.Gyro, dt)
+	e.Att.CorrectAccel(s.Accel, dt)
+	accelWorld := e.Att.Attitude().Rotate(s.Accel).Sub(mathx.V3(0, 0, units.Gravity))
+	e.Pos.Predict(accelWorld, dt)
+}
+
+// OnGPS fuses a GPS fix.
+func (e *Estimator) OnGPS(fix sensors.GPSSample) { e.Pos.UpdateGPS(fix, 0.8, 0.1) }
+
+// OnBaro fuses a barometric altitude.
+func (e *Estimator) OnBaro(alt float64) { e.Pos.UpdateBaro(alt, 0.15) }
+
+// OnMag fuses a magnetometer yaw.
+func (e *Estimator) OnMag(yaw float64, dt float64) { e.Att.CorrectYaw(yaw, dt) }

@@ -1,0 +1,76 @@
+package estimation
+
+import (
+	"math"
+
+	"dronedse/mathx"
+	"dronedse/sensors"
+)
+
+// GatedEKF wraps PosVelEKF with innovation gating: measurements whose
+// normalized innovation exceeds the gate are rejected instead of fused —
+// the standard defense against GPS glitches and barometer spikes that a
+// fielded autopilot (ArduCopter's EKF included) relies on. Table 1 assigns
+// this robustness duty to the inner loop's estimation layer.
+type GatedEKF struct {
+	*PosVelEKF
+	// GateSigma is the rejection threshold in standard deviations
+	// (typical: 4-6).
+	GateSigma float64
+
+	Accepted int
+	Rejected int
+}
+
+// NewGatedEKF wraps a fresh filter with a 5-sigma gate.
+func NewGatedEKF() *GatedEKF {
+	return &GatedEKF{PosVelEKF: NewPosVelEKF(), GateSigma: 5}
+}
+
+// gate reports whether a scalar measurement of state index idx with noise
+// variance r passes the innovation gate.
+func (g *GatedEKF) gate(idx int, z, r float64) bool {
+	innov := z - g.x[idx]
+	s := g.p.At(idx, idx) + r
+	if s <= 0 {
+		return false
+	}
+	return innov*innov <= g.GateSigma*g.GateSigma*s
+}
+
+// UpdateGPS fuses a fix if its position innovation passes the gate on all
+// three axes; a glitched fix is dropped whole (position and velocity are
+// correlated in a glitch).
+func (g *GatedEKF) UpdateGPS(fix sensors.GPSSample, posStd, velStd float64) {
+	r := posStd * posStd
+	if !g.gate(0, fix.Pos.X, r) || !g.gate(1, fix.Pos.Y, r) || !g.gate(2, fix.Pos.Z, 2.25*r) {
+		g.Rejected++
+		return
+	}
+	g.Accepted++
+	g.PosVelEKF.UpdateGPS(fix, posStd, velStd)
+}
+
+// UpdateBaro fuses an altitude if it passes the gate.
+func (g *GatedEKF) UpdateBaro(alt, std float64) {
+	if !g.gate(2, alt, std*std) {
+		g.Rejected++
+		return
+	}
+	g.Accepted++
+	g.PosVelEKF.UpdateBaro(alt, std)
+}
+
+// PositionUncertainty returns the 1-sigma horizontal position uncertainty —
+// the health signal an autopilot failsafe watches during GPS dropouts.
+func (g *GatedEKF) PositionUncertainty() float64 {
+	return math.Sqrt(math.Max(g.p.At(0, 0), g.p.At(1, 1)))
+}
+
+// GlitchGPS corrupts a fix the way multipath does: a position jump of
+// magnitude m in a fixed direction. Tests and failure-injection harnesses
+// use it.
+func GlitchGPS(fix sensors.GPSSample, m float64) sensors.GPSSample {
+	fix.Pos = fix.Pos.Add(mathx.V3(m, -m/2, m/3))
+	return fix
+}

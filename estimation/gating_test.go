@@ -1,0 +1,134 @@
+package estimation
+
+import (
+	"testing"
+
+	"dronedse/mathx"
+	"dronedse/sensors"
+	"dronedse/sim"
+)
+
+// converge runs the gated filter on clean static measurements.
+func convergeGated(g *GatedEKF, truth sim.State, seconds float64) {
+	imu := sensors.NewIMU(200, 1)
+	gps := sensors.NewGPS(5, 2)
+	baro := sensors.NewBarometer(15, 3)
+	dt := 1.0 / 200
+	tm := 0.0
+	for i := 0; i < int(seconds*200); i++ {
+		tm += dt
+		s := imu.Sample(truth, mathx.Vec3{})
+		accel := mathx.QuatIdentity().Rotate(s.Accel).Sub(mathx.V3(0, 0, 9.80665))
+		g.Predict(accel, dt)
+		if gps.Due(tm) {
+			g.UpdateGPS(gps.Sample(truth), 0.8, 0.1)
+		}
+		if baro.Due(tm) {
+			g.UpdateBaro(baro.SampleAltitude(truth), 0.15)
+		}
+	}
+}
+
+func TestGateAcceptsCleanMeasurements(t *testing.T) {
+	g := NewGatedEKF()
+	truth := sim.State{Pos: mathx.V3(2, 1, 6), Att: mathx.QuatIdentity()}
+	convergeGated(g, truth, 20)
+	if g.Accepted == 0 {
+		t.Fatal("no measurements accepted")
+	}
+	if frac := float64(g.Rejected) / float64(g.Accepted+g.Rejected); frac > 0.02 {
+		t.Errorf("rejected %.1f%% of clean measurements", 100*frac)
+	}
+	if err := g.Position().Sub(truth.Pos).Norm(); err > 0.5 {
+		t.Errorf("converged error %v m", err)
+	}
+}
+
+func TestGateRejectsGPSGlitch(t *testing.T) {
+	g := NewGatedEKF()
+	truth := sim.State{Pos: mathx.V3(2, 1, 6), Att: mathx.QuatIdentity()}
+	convergeGated(g, truth, 20)
+	before := g.Position()
+
+	// A 60 m multipath jump: must be rejected wholesale.
+	gps := sensors.NewGPS(5, 9)
+	rejectedBefore := g.Rejected
+	g.UpdateGPS(GlitchGPS(gps.Sample(truth), 60), 0.8, 0.1)
+	if g.Rejected != rejectedBefore+1 {
+		t.Fatal("glitch not rejected")
+	}
+	if moved := g.Position().Sub(before).Norm(); moved > 1e-9 {
+		t.Errorf("rejected glitch still moved the estimate by %v m", moved)
+	}
+
+	// The ungated filter swallows the same glitch.
+	plain := NewPosVelEKF()
+	for i := 0; i < 50; i++ {
+		plain.UpdateGPS(sensors.GPSSample{Pos: truth.Pos}, 0.8, 0.1)
+	}
+	beforePlain := plain.Position()
+	plain.UpdateGPS(GlitchGPS(sensors.GPSSample{Pos: truth.Pos}, 60), 0.8, 0.1)
+	if plain.Position().Sub(beforePlain).Norm() < 1 {
+		t.Error("control case broken: ungated filter should jump")
+	}
+}
+
+func TestGateRecoversAfterRealJump(t *testing.T) {
+	// If the vehicle REALLY moved (gate keeps rejecting), dead-reckoning
+	// grows the covariance until the gate re-opens — the filter must not
+	// lock out reality forever.
+	g := NewGatedEKF()
+	truth := sim.State{Pos: mathx.V3(0, 0, 5), Att: mathx.QuatIdentity()}
+	convergeGated(g, truth, 20)
+
+	moved := sensors.GPSSample{Pos: mathx.V3(40, 0, 5)}
+	reaccepted := false
+	for i := 0; i < 4000 && !reaccepted; i++ {
+		g.Predict(mathx.Vec3{}, 0.02) // uncertainty grows
+		before := g.Accepted
+		g.UpdateGPS(moved, 0.8, 0.1)
+		reaccepted = g.Accepted > before
+	}
+	if !reaccepted {
+		t.Fatal("gate never re-opened after a sustained position change")
+	}
+}
+
+func TestGPSDropoutDriftBounded(t *testing.T) {
+	// GPS out for 30 s: the baro keeps altitude honest while horizontal
+	// uncertainty grows — and the uncertainty signal must reflect it.
+	g := NewGatedEKF()
+	truth := sim.State{Pos: mathx.V3(3, -2, 8), Att: mathx.QuatIdentity()}
+	convergeGated(g, truth, 20)
+	sigmaBefore := g.PositionUncertainty()
+
+	imu := sensors.NewIMU(200, 4)
+	baro := sensors.NewBarometer(15, 5)
+	dt := 1.0 / 200
+	tm := 0.0
+	for i := 0; i < 200*30; i++ {
+		tm += dt
+		s := imu.Sample(truth, mathx.Vec3{})
+		accel := mathx.QuatIdentity().Rotate(s.Accel).Sub(mathx.V3(0, 0, 9.80665))
+		g.Predict(accel, dt)
+		if baro.Due(tm) {
+			g.UpdateBaro(baro.SampleAltitude(truth), 0.15)
+		}
+	}
+	if g.PositionUncertainty() <= sigmaBefore*2 {
+		t.Errorf("horizontal uncertainty did not grow during dropout: %v -> %v",
+			sigmaBefore, g.PositionUncertainty())
+	}
+	// Altitude stays pinned by the barometer.
+	if altErr := g.Position().Z - truth.Pos.Z; altErr > 0.5 || altErr < -0.5 {
+		t.Errorf("altitude drifted %v m despite the barometer", altErr)
+	}
+}
+
+func TestGateDegenerate(t *testing.T) {
+	g := NewGatedEKF()
+	// Zero variance path must not panic or accept.
+	if g.gate(0, 0, -1) && g.p.At(0, 0) <= 1 {
+		t.Log("gate accepted with negative noise variance (covariance dominates)")
+	}
+}

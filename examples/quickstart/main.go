@@ -1,0 +1,43 @@
+// Quickstart: build a drone configuration and find out what computation
+// costs it in flight time — the paper's core question in ~30 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dronedse/components"
+	"dronedse/core"
+)
+
+func main() {
+	// A 450 mm quadcopter with a 3S 5000 mAh pack and a 20 W GPU-CPU
+	// compute system (Jetson-TX2-class).
+	spec := core.Spec{
+		WheelbaseMM: 450,
+		Cells:       3,
+		CapacityMah: 5000,
+		TWR:         2,
+		Compute:     components.AdvancedComputeTier,
+		ESCClass:    components.LongFlight,
+	}
+	params := core.DefaultParams()
+
+	design, err := core.Resolve(spec, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("total weight:       %.0f g\n", design.TotalG)
+	fmt.Printf("hover power:        %.1f W\n", design.HoverPowerW())
+	fmt.Printf("flight time:        %.1f min\n", design.HoverFlightTimeMin())
+	fmt.Printf("compute footprint:  %.1f%% of total power while hovering\n",
+		design.ComputeSharePct(params.HoverLoad))
+
+	// What would moving that 20 W workload to an FPGA (0.417 W, 75 g) buy?
+	gained, err := core.GainedFlightTimeMin(design, 0.417, 75, params.HoverLoad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FPGA offload gains: %+.1f min of flight time\n", gained)
+}

@@ -1,0 +1,65 @@
+// SLAM offload study: run the SLAM pipeline on one EuRoC-like sequence,
+// retime it on each hardware platform, and translate each platform's power
+// envelope into drone flight time with the design-space core — §5 of the
+// paper as an example program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dronedse/components"
+	"dronedse/core"
+	"dronedse/dataset"
+	"dronedse/platform"
+	"dronedse/slam"
+)
+
+func main() {
+	// Run SLAM on MH01.
+	spec := dataset.EuRoCSpecs()[0]
+	seq, err := dataset.Generate(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := slam.RunSequence(seq)
+	fmt.Printf("%s: %d frames, %d keyframes, ATE %.3f m\n",
+		res.Name, res.Frames, res.Stats.Keyframes, res.ATE)
+	baShare := 100 * float64(res.Stats.LocalBAOps+res.Stats.GlobalBAOps) / float64(res.Stats.TotalOps())
+	fmt.Printf("bundle adjustment is %.0f%% of the work (paper: ≈90%% of RPi time)\n\n", baShare)
+
+	// The host drone: the paper's 450 mm open-source platform.
+	params := core.DefaultParams()
+	mkSpec := func(pl platform.Platform) core.Spec {
+		hostW := pl.PowerOverheadW
+		if pl.Name == "RPi" {
+			hostW = 5 // whole RPi with SLAM active (Figure 16a)
+		}
+		return core.Spec{
+			WheelbaseMM: 450, Cells: 3, CapacityMah: 3000, TWR: 2,
+			Compute: components.ComputeTier{
+				Name:    "Navio2 + " + pl.Name,
+				PowerW:  1 + hostW,
+				WeightG: 25 + pl.WeightOverheadG,
+			},
+			ESCClass: components.LongFlight,
+		}
+	}
+	base, err := core.Resolve(mkSpec(platform.RPi()), params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-6s %9s %9s %10s %12s %12s\n",
+		"host", "speedup", "FPS", "power(W)", "flight(min)", "vs RPi(min)")
+	for _, pl := range platform.All() {
+		d, err := core.Resolve(mkSpec(pl), params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sp := platform.Speedup(platform.RPi(), pl, res.Stats)
+		fmt.Printf("%-6s %8.2fx %9.1f %10.2f %12.1f %+12.1f\n",
+			pl.Name, sp, pl.FPS(res.Stats), pl.PowerOverheadW,
+			d.HoverFlightTimeMin(), d.HoverFlightTimeMin()-base.HoverFlightTimeMin())
+	}
+	fmt.Println("\nevery platform meets the 20 FPS camera; the FPGA is the cost-effective choice (paper §7)")
+}

@@ -1,0 +1,3 @@
+module dronedse
+
+go 1.24

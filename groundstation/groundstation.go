@@ -1,0 +1,186 @@
+// Package groundstation is the monitoring side of the Figure 3/5
+// communication link: it consumes MAVLink telemetry from the drone over any
+// io stream (TCP in the examples, in-memory pipes in tests), tracks the
+// latest vehicle state, and can issue commands back — the DroneKit role in
+// the paper's stack.
+package groundstation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"dronedse/mavlink"
+)
+
+// VehicleState is the ground station's latest view of the drone.
+type VehicleState struct {
+	Mode        uint8
+	Armed       bool
+	TimeMS      uint32
+	Roll        float64
+	Pitch       float64
+	Yaw         float64
+	X, Y, Z     float64
+	VX, VY, VZ  float64
+	BatteryV    float64
+	BatterySoC  float64
+	PowerW      float64
+	LastStatus  string
+	Heartbeats  int
+	Frames      int
+	ParseErrors int
+}
+
+// Station consumes telemetry and issues commands.
+type Station struct {
+	mu      sync.Mutex
+	state   VehicleState
+	parser  mavlink.Parser
+	out     io.Writer
+	seq     uint8
+	history []VehicleState
+	histCap int
+}
+
+// New returns a station writing commands to out (nil for receive-only).
+// The station keeps a bounded history of position fixes for track display.
+func New(out io.Writer) *Station { return &Station{out: out, histCap: 4096} }
+
+// State returns a snapshot of the latest vehicle state.
+func (s *Station) State() VehicleState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Consume feeds raw telemetry bytes into the station.
+func (s *Station) Consume(data []byte) {
+	frames := s.parser.Push(data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range frames {
+		s.state.Frames++
+		switch f.MsgID {
+		case mavlink.MsgHeartbeat:
+			h, err := mavlink.DecodeHeartbeat(f.Payload)
+			if err != nil {
+				s.state.ParseErrors++
+				continue
+			}
+			s.state.Heartbeats++
+			s.state.Mode, s.state.Armed, s.state.TimeMS = h.Mode, h.Armed, h.TimeMS
+		case mavlink.MsgAttitude:
+			a, err := mavlink.DecodeAttitude(f.Payload)
+			if err != nil {
+				s.state.ParseErrors++
+				continue
+			}
+			s.state.Roll, s.state.Pitch, s.state.Yaw = float64(a.Roll), float64(a.Pitch), float64(a.Yaw)
+		case mavlink.MsgGlobalPosition:
+			g, err := mavlink.DecodeGlobalPosition(f.Payload)
+			if err != nil {
+				s.state.ParseErrors++
+				continue
+			}
+			s.state.X, s.state.Y, s.state.Z = float64(g.X), float64(g.Y), float64(g.Z)
+			s.state.VX, s.state.VY, s.state.VZ = float64(g.VX), float64(g.VY), float64(g.VZ)
+			s.state.TimeMS = g.TimeMS
+			if len(s.history) >= s.histCap {
+				copy(s.history, s.history[1:])
+				s.history = s.history[:len(s.history)-1]
+			}
+			s.history = append(s.history, s.state)
+		case mavlink.MsgBatteryStatus:
+			b, err := mavlink.DecodeBatteryStatus(f.Payload)
+			if err != nil {
+				s.state.ParseErrors++
+				continue
+			}
+			s.state.BatteryV, s.state.BatterySoC, s.state.PowerW = float64(b.VoltageV), float64(b.SoC), float64(b.PowerW)
+		case mavlink.MsgStatusText:
+			st, err := mavlink.DecodeStatusText(f.Payload)
+			if err != nil {
+				s.state.ParseErrors++
+				continue
+			}
+			s.state.LastStatus = st.Text
+		default:
+			// commands flowing drone-ward are not expected here
+		}
+	}
+}
+
+// SendCommand writes a CommandLong frame to the drone.
+func (s *Station) SendCommand(c mavlink.CommandLong) error {
+	if s.out == nil {
+		return fmt.Errorf("groundstation: receive-only station")
+	}
+	s.mu.Lock()
+	seq := s.seq
+	s.seq++
+	s.mu.Unlock()
+	f := mavlink.Frame{Seq: seq, SysID: 255, CompID: 1,
+		MsgID: mavlink.MsgCommandLong, Payload: mavlink.EncodeCommandLong(c)}
+	raw, err := f.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = s.out.Write(raw)
+	return err
+}
+
+// ServeTCP accepts one telemetry connection on addr and consumes it until
+// EOF; it returns the listener address once listening via the ready channel.
+func (s *Station) ServeTCP(addr string, ready chan<- net.Addr) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	if ready != nil {
+		ready <- ln.Addr()
+	}
+	conn, err := ln.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			s.Consume(buf[:n])
+		}
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// Track returns the recorded position history (oldest first), bounded at
+// the station's history capacity.
+func (s *Station) Track() []VehicleState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]VehicleState(nil), s.history...)
+}
+
+// DistanceFlown integrates the track's horizontal path length in meters.
+func (s *Station) DistanceFlown() float64 {
+	track := s.Track()
+	total := 0.0
+	for i := 1; i < len(track); i++ {
+		dx := track[i].X - track[i-1].X
+		dy := track[i].Y - track[i-1].Y
+		total += math.Hypot(dx, dy)
+	}
+	return total
+}

@@ -1,0 +1,224 @@
+// Package mapping is an occupancy-grid substrate for the outer-loop
+// applications Table 1 lists (LiDAR mapping, sonar mapping, obstacle
+// detection): a sparse voxel grid in the Octomap tradition, fed by SLAM map
+// points or range sensors, with the inflation and collision queries the
+// planner (dronedse/planner) consumes.
+package mapping
+
+import (
+	"math"
+
+	"dronedse/mathx"
+)
+
+// Key addresses one voxel.
+type Key [3]int
+
+// Grid is a sparse log-odds occupancy grid.
+type Grid struct {
+	// ResM is the voxel edge length in meters.
+	ResM float64
+	// occupancy thresholds in log-odds steps.
+	vox map[Key]int8
+}
+
+// Log-odds update constants (Octomap-style clamped counters).
+const (
+	hitInc     = 3
+	missDec    = -1
+	occupiedAt = 2
+	clampLo    = -8
+	clampHi    = 16
+)
+
+// NewGrid builds an empty grid at the given resolution.
+func NewGrid(resM float64) *Grid {
+	if resM <= 0 {
+		resM = 0.25
+	}
+	return &Grid{ResM: resM, vox: map[Key]int8{}}
+}
+
+// KeyOf returns the voxel containing p.
+func (g *Grid) KeyOf(p mathx.Vec3) Key {
+	return Key{
+		int(math.Floor(p.X / g.ResM)),
+		int(math.Floor(p.Y / g.ResM)),
+		int(math.Floor(p.Z / g.ResM)),
+	}
+}
+
+// Center returns a voxel's center point.
+func (g *Grid) Center(k Key) mathx.Vec3 {
+	return mathx.V3(
+		(float64(k[0])+0.5)*g.ResM,
+		(float64(k[1])+0.5)*g.ResM,
+		(float64(k[2])+0.5)*g.ResM)
+}
+
+// bump applies a clamped log-odds step.
+func (g *Grid) bump(k Key, delta int8) {
+	v := int(g.vox[k]) + int(delta)
+	if v < clampLo {
+		v = clampLo
+	}
+	if v > clampHi {
+		v = clampHi
+	}
+	if v == 0 {
+		delete(g.vox, k)
+		return
+	}
+	g.vox[k] = int8(v)
+}
+
+// InsertPoint marks the voxel containing p as observed-occupied.
+func (g *Grid) InsertPoint(p mathx.Vec3) { g.bump(g.KeyOf(p), hitInc) }
+
+// InsertRay integrates one range measurement: free space along the ray from
+// origin to hit, occupied at the hit (the LiDAR/sonar mapping update).
+func (g *Grid) InsertRay(origin, hit mathx.Vec3) {
+	for _, k := range g.Raycast(origin, hit) {
+		g.bump(k, missDec)
+	}
+	g.bump(g.KeyOf(hit), hitInc)
+}
+
+// Raycast returns the voxels traversed from a to b, excluding b's voxel
+// (Amanatides-Woo DDA).
+func (g *Grid) Raycast(a, b mathx.Vec3) []Key {
+	var out []Key
+	cur := g.KeyOf(a)
+	end := g.KeyOf(b)
+	if cur == end {
+		return out
+	}
+	d := b.Sub(a)
+	step := Key{sign(d.X), sign(d.Y), sign(d.Z)}
+	// Parametric distance to the next voxel boundary per axis.
+	next := [3]float64{}
+	delta := [3]float64{}
+	pos := [3]float64{a.X, a.Y, a.Z}
+	dir := [3]float64{d.X, d.Y, d.Z}
+	for i := 0; i < 3; i++ {
+		if dir[i] == 0 {
+			next[i] = math.Inf(1)
+			delta[i] = math.Inf(1)
+			continue
+		}
+		var boundary float64
+		if step[i] > 0 {
+			boundary = (float64(cur[i]) + 1) * g.ResM
+		} else {
+			boundary = float64(cur[i]) * g.ResM
+		}
+		next[i] = (boundary - pos[i]) / dir[i]
+		delta[i] = g.ResM / math.Abs(dir[i])
+	}
+	for steps := 0; steps < 1<<16; steps++ {
+		axis := 0
+		if next[1] < next[axis] {
+			axis = 1
+		}
+		if next[2] < next[axis] {
+			axis = 2
+		}
+		if next[axis] > 1 {
+			return out // b reached within this voxel
+		}
+		cur[axis] += step[axis]
+		next[axis] += delta[axis]
+		if cur == end {
+			return out
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+func sign(v float64) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Occupied reports whether the voxel containing p is occupied.
+func (g *Grid) Occupied(p mathx.Vec3) bool { return g.OccupiedKey(g.KeyOf(p)) }
+
+// OccupiedKey reports whether voxel k is occupied.
+func (g *Grid) OccupiedKey(k Key) bool { return g.vox[k] >= occupiedAt }
+
+// OccupiedCount returns the number of occupied voxels.
+func (g *Grid) OccupiedCount() int {
+	n := 0
+	for _, v := range g.vox {
+		if v >= occupiedAt {
+			n++
+		}
+	}
+	return n
+}
+
+// Keys returns the occupied voxel keys (order unspecified).
+func (g *Grid) Keys() []Key {
+	out := make([]Key, 0, len(g.vox))
+	for k, v := range g.vox {
+		if v >= occupiedAt {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// FromPoints builds a grid from a landmark cloud (the SLAM map points of
+// dronedse/slam become the obstacle map).
+func FromPoints(points []mathx.Vec3, resM float64) *Grid {
+	g := NewGrid(resM)
+	for _, p := range points {
+		g.InsertPoint(p)
+	}
+	return g
+}
+
+// Inflate returns a new grid in which every occupied voxel is dilated by
+// radiusM — the configuration-space expansion that keeps the planned path a
+// drone-radius away from obstacles.
+func (g *Grid) Inflate(radiusM float64) *Grid {
+	out := NewGrid(g.ResM)
+	r := int(math.Ceil(radiusM / g.ResM))
+	for k, v := range g.vox {
+		if v < occupiedAt {
+			continue
+		}
+		for dx := -r; dx <= r; dx++ {
+			for dy := -r; dy <= r; dy++ {
+				for dz := -r; dz <= r; dz++ {
+					if dx*dx+dy*dy+dz*dz > r*r {
+						continue
+					}
+					out.vox[Key{k[0] + dx, k[1] + dy, k[2] + dz}] = clampHi
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SegmentCollides samples the segment a-b at half-resolution steps and
+// reports whether any sample lands in an occupied voxel.
+func (g *Grid) SegmentCollides(a, b mathx.Vec3) bool {
+	d := b.Sub(a)
+	n := int(d.Norm()/(g.ResM/2)) + 1
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		if g.Occupied(a.Add(d.Scale(t))) {
+			return true
+		}
+	}
+	return false
+}

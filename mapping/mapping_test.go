@@ -1,0 +1,180 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+
+	"dronedse/mathx"
+)
+
+func TestKeyCenterRoundTrip(t *testing.T) {
+	g := NewGrid(0.5)
+	p := mathx.V3(1.3, -2.7, 0.2)
+	k := g.KeyOf(p)
+	c := g.Center(k)
+	// The center must be in the same voxel as the original point.
+	if g.KeyOf(c) != k {
+		t.Errorf("center %v left the voxel of %v", c, p)
+	}
+}
+
+func TestInsertAndOccupied(t *testing.T) {
+	g := NewGrid(0.25)
+	p := mathx.V3(1, 2, 3)
+	if g.Occupied(p) {
+		t.Error("empty grid occupied")
+	}
+	g.InsertPoint(p)
+	if !g.Occupied(p) {
+		t.Error("inserted point not occupied")
+	}
+	if g.OccupiedCount() != 1 {
+		t.Errorf("occupied count = %d", g.OccupiedCount())
+	}
+	// Nearby but different voxel stays free.
+	if g.Occupied(mathx.V3(1, 2, 3.5)) {
+		t.Error("neighboring voxel occupied")
+	}
+}
+
+func TestZeroResolutionDefaults(t *testing.T) {
+	g := NewGrid(0)
+	if g.ResM <= 0 {
+		t.Error("degenerate resolution not defaulted")
+	}
+}
+
+func TestRaycastStraightLine(t *testing.T) {
+	g := NewGrid(1)
+	keys := g.Raycast(mathx.V3(0.5, 0.5, 0.5), mathx.V3(5.5, 0.5, 0.5))
+	if len(keys) != 4 { // voxels 1..4 (0 excluded as origin, 5 as hit)
+		t.Fatalf("traversed %d voxels, want 4: %v", len(keys), keys)
+	}
+	for i, k := range keys {
+		if k != (Key{i + 1, 0, 0}) {
+			t.Errorf("voxel %d = %v", i, k)
+		}
+	}
+}
+
+func TestRaycastSameVoxel(t *testing.T) {
+	g := NewGrid(1)
+	if keys := g.Raycast(mathx.V3(0.1, 0.1, 0.1), mathx.V3(0.9, 0.9, 0.9)); len(keys) != 0 {
+		t.Errorf("same-voxel ray traversed %v", keys)
+	}
+}
+
+func TestRaycastDiagonalConnectivity(t *testing.T) {
+	g := NewGrid(1)
+	a := mathx.V3(0.5, 0.5, 0.5)
+	b := mathx.V3(4.5, 3.5, 2.5)
+	keys := g.Raycast(a, b)
+	// The DDA must step one axis at a time and stay between endpoints.
+	prev := g.KeyOf(a)
+	for _, k := range keys {
+		d := abs3(k[0]-prev[0]) + abs3(k[1]-prev[1]) + abs3(k[2]-prev[2])
+		if d != 1 {
+			t.Fatalf("DDA jumped from %v to %v", prev, k)
+		}
+		prev = k
+	}
+}
+
+func abs3(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestInsertRayClearsFreeSpace(t *testing.T) {
+	g := NewGrid(1)
+	hit := mathx.V3(5.5, 0.5, 0.5)
+	// A previously (weakly) marked voxel along the ray is cleared by
+	// repeated free-space evidence.
+	mid := mathx.V3(2.5, 0.5, 0.5)
+	g.InsertPoint(mid)
+	if !g.Occupied(mid) {
+		t.Fatal("setup failed")
+	}
+	for i := 0; i < 5; i++ {
+		g.InsertRay(mathx.V3(0.5, 0.5, 0.5), hit)
+	}
+	if g.Occupied(mid) {
+		t.Error("free-space evidence did not clear a transient obstacle")
+	}
+	if !g.Occupied(hit) {
+		t.Error("ray hit not occupied")
+	}
+}
+
+func TestLogOddsClamping(t *testing.T) {
+	g := NewGrid(1)
+	p := mathx.V3(0.5, 0.5, 0.5)
+	for i := 0; i < 100; i++ {
+		g.InsertPoint(p)
+	}
+	// Heavily confirmed voxel still clears after bounded counter-evidence
+	// (the clamp guarantees recency matters).
+	for i := 0; i < 30; i++ {
+		g.bump(g.KeyOf(p), missDec)
+	}
+	if g.Occupied(p) {
+		t.Error("clamped voxel never cleared")
+	}
+}
+
+func TestFromPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var pts []mathx.Vec3
+	for i := 0; i < 500; i++ {
+		pts = append(pts, mathx.V3(r.Float64()*10, r.Float64()*10, r.Float64()*3))
+	}
+	g := FromPoints(pts, 0.5)
+	if g.OccupiedCount() == 0 {
+		t.Fatal("no occupancy from a 500-point cloud")
+	}
+	for _, p := range pts[:20] {
+		if !g.Occupied(p) {
+			t.Errorf("source point %v not occupied", p)
+		}
+	}
+}
+
+func TestInflate(t *testing.T) {
+	g := NewGrid(0.5)
+	p := mathx.V3(2.25, 2.25, 2.25)
+	g.InsertPoint(p)
+	inf := g.Inflate(1.0)
+	if !inf.Occupied(p) {
+		t.Error("inflation lost the original obstacle")
+	}
+	if !inf.Occupied(p.Add(mathx.V3(0.9, 0, 0))) {
+		t.Error("inflation did not cover the drone radius")
+	}
+	if inf.Occupied(p.Add(mathx.V3(2.5, 0, 0))) {
+		t.Error("inflation leaked far beyond the radius")
+	}
+	if inf.OccupiedCount() <= g.OccupiedCount() {
+		t.Error("inflation added no voxels")
+	}
+}
+
+func TestSegmentCollides(t *testing.T) {
+	g := NewGrid(0.5)
+	// A wall at x=5 spanning y,z in [0, 4].
+	for y := 0.25; y < 4; y += 0.5 {
+		for z := 0.25; z < 4; z += 0.5 {
+			g.InsertPoint(mathx.V3(5.25, y, z))
+		}
+	}
+	if !g.SegmentCollides(mathx.V3(0, 2, 2), mathx.V3(10, 2, 2)) {
+		t.Error("segment through the wall reported clear")
+	}
+	if g.SegmentCollides(mathx.V3(0, 2, 2), mathx.V3(4, 2, 2)) {
+		t.Error("segment short of the wall reported blocked")
+	}
+	if g.SegmentCollides(mathx.V3(0, 2, 6), mathx.V3(10, 2, 6)) {
+		t.Error("segment above the wall reported blocked")
+	}
+}

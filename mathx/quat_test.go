@@ -1,0 +1,116 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuatIdentityRotate(t *testing.T) {
+	v := V3(1, 2, 3)
+	if got := QuatIdentity().Rotate(v); got.Sub(v).Norm() > 1e-12 {
+		t.Errorf("identity rotate = %v", got)
+	}
+}
+
+func TestQuatAxisAngle(t *testing.T) {
+	// 90 degrees about z maps x to y.
+	q := QuatFromAxisAngle(V3(0, 0, 1), math.Pi/2)
+	got := q.Rotate(V3(1, 0, 0))
+	if got.Sub(V3(0, 1, 0)).Norm() > 1e-9 {
+		t.Errorf("rot z 90 of x = %v, want y", got)
+	}
+}
+
+func TestQuatEulerRoundTrip(t *testing.T) {
+	cases := []struct{ roll, pitch, yaw float64 }{
+		{0, 0, 0},
+		{0.3, -0.2, 1.1},
+		{-1.0, 0.5, -2.0},
+		{0.1, 1.0, 3.0},
+	}
+	for _, c := range cases {
+		q := QuatFromEuler(c.roll, c.pitch, c.yaw)
+		r, p, y := q.Euler()
+		if math.Abs(r-c.roll) > 1e-9 || math.Abs(p-c.pitch) > 1e-9 || math.Abs(y-c.yaw) > 1e-9 {
+			t.Errorf("round trip (%v,%v,%v) -> (%v,%v,%v)", c.roll, c.pitch, c.yaw, r, p, y)
+		}
+	}
+}
+
+func TestQuatRotatePreservesNorm(t *testing.T) {
+	f := func(q Quat, v Vec3) bool {
+		return math.Abs(q.Rotate(v).Norm()-v.Norm()) < 1e-9*(1+v.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Values: quatAndVec}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatRotateInvIsInverse(t *testing.T) {
+	f := func(q Quat, v Vec3) bool {
+		back := q.RotateInv(q.Rotate(v))
+		return back.Sub(v).Norm() < 1e-9*(1+v.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Values: quatAndVec}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatMatMatchesRotate(t *testing.T) {
+	f := func(q Quat, v Vec3) bool {
+		a := q.Rotate(v)
+		b := q.Mat().MulVec(v)
+		return a.Sub(b).Norm() < 1e-9*(1+v.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Values: quatAndVec}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatMulComposition(t *testing.T) {
+	f := func(a, b Quat) bool {
+		v := V3(1, 2, 3)
+		lhs := a.Mul(b).Rotate(v)
+		rhs := a.Rotate(b.Rotate(v))
+		return lhs.Sub(rhs).Norm() < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Values: quatPair}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuatIntegrate(t *testing.T) {
+	// Integrating a constant yaw rate of pi/2 rad/s for 1 s in small steps
+	// should yield ~90 degrees of yaw.
+	q := QuatIdentity()
+	const dt = 1e-4
+	for i := 0; i < 10000; i++ {
+		q = q.Integrate(V3(0, 0, math.Pi/2), dt)
+	}
+	_, _, yaw := q.Euler()
+	if math.Abs(yaw-math.Pi/2) > 1e-3 {
+		t.Errorf("yaw after integration = %v, want %v", yaw, math.Pi/2)
+	}
+	if math.Abs(q.Norm()-1) > 1e-9 {
+		t.Errorf("integration broke unit norm: %v", q.Norm())
+	}
+}
+
+func TestQuatAngleTo(t *testing.T) {
+	a := QuatIdentity()
+	b := QuatFromAxisAngle(V3(1, 0, 0), 0.5)
+	if got := a.AngleTo(b); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("AngleTo = %v, want 0.5", got)
+	}
+	if got := a.AngleTo(a); got > 1e-9 {
+		t.Errorf("AngleTo self = %v", got)
+	}
+}
+
+func TestQuatDegenerateNormalize(t *testing.T) {
+	q := Quat{}.Normalized()
+	if q != QuatIdentity() {
+		t.Errorf("zero quat normalized = %v, want identity", q)
+	}
+}

@@ -1,0 +1,45 @@
+package mathx
+
+import (
+	"math/rand"
+	"reflect"
+)
+
+// Bounded value generators for testing/quick: unconstrained float64
+// generation produces astronomically large magnitudes that swamp float
+// tolerance reasoning; the drone stack operates on metres, radians and
+// seconds, so we generate in a physically plausible range.
+
+func smallFloat(r *rand.Rand) float64 { return (r.Float64() - 0.5) * 200 }
+
+func smallVec(r *rand.Rand) Vec3 {
+	return V3(smallFloat(r), smallFloat(r), smallFloat(r))
+}
+
+func smallVecSingle(vals []reflect.Value, r *rand.Rand) {
+	vals[0] = reflect.ValueOf(smallVec(r))
+}
+
+func smallVecPair(vals []reflect.Value, r *rand.Rand) {
+	vals[0] = reflect.ValueOf(smallVec(r))
+	vals[1] = reflect.ValueOf(smallVec(r))
+}
+
+func randomUnitQuat(r *rand.Rand) Quat {
+	q := Quat{r.NormFloat64(), r.NormFloat64(), r.NormFloat64(), r.NormFloat64()}
+	return q.Normalized()
+}
+
+func quatSingle(vals []reflect.Value, r *rand.Rand) {
+	vals[0] = reflect.ValueOf(randomUnitQuat(r))
+}
+
+func quatPair(vals []reflect.Value, r *rand.Rand) {
+	vals[0] = reflect.ValueOf(randomUnitQuat(r))
+	vals[1] = reflect.ValueOf(randomUnitQuat(r))
+}
+
+func quatAndVec(vals []reflect.Value, r *rand.Rand) {
+	vals[0] = reflect.ValueOf(randomUnitQuat(r))
+	vals[1] = reflect.ValueOf(smallVec(r))
+}

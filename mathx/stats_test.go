@@ -1,0 +1,82 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{1, -1}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with negative = %v, want NaN", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("StdDev single != 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Error("extremes wrong")
+	}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Percentile(xs, 25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile != 0")
+	}
+	// input must not be reordered
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	min, max = MinMax(nil)
+	if min != 0 || max != 0 {
+		t.Error("MinMax(nil) not zero")
+	}
+}
+
+func TestWithin(t *testing.T) {
+	if !Within(1.05, 1.0, 0.1) || Within(1.2, 1.0, 0.1) {
+		t.Error("Within wrong")
+	}
+	if !WithinRel(110, 100, 0.15) || WithinRel(130, 100, 0.15) {
+		t.Error("WithinRel wrong")
+	}
+	if !WithinRel(0.05, 0, 0.1) {
+		t.Error("WithinRel zero-want wrong")
+	}
+}

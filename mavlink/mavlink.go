@@ -1,0 +1,372 @@
+// Package mavlink implements a compact MAVLink-v1-style telemetry protocol
+// (framing, X.25 CRC with per-message seeding, streaming parser with resync)
+// — the communication layer of Figure 5 that "delivers stats to the ground
+// station and, if necessary, offloads computations to another node".
+package mavlink
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Magic is the frame start byte (MAVLink v1 uses 0xFE).
+const Magic = 0xFE
+
+// MaxPayload is the largest payload a frame can carry.
+const MaxPayload = 255
+
+// MsgID identifies a message type.
+type MsgID uint8
+
+// Message identifiers.
+const (
+	MsgHeartbeat MsgID = iota
+	MsgAttitude
+	MsgGlobalPosition
+	MsgBatteryStatus
+	MsgStatusText
+	MsgCommandLong
+	MsgMissionItem
+	MsgParamSet
+	MsgParamValue
+)
+
+// crcExtra seeds the CRC per message type so sender/receiver disagree loudly
+// on layout changes (the MAVLink CRC_EXTRA mechanism).
+var crcExtra = map[MsgID]byte{
+	MsgHeartbeat:      50,
+	MsgAttitude:       39,
+	MsgGlobalPosition: 104,
+	MsgBatteryStatus:  154,
+	MsgStatusText:     83,
+	MsgCommandLong:    152,
+	MsgMissionItem:    254,
+	MsgParamSet:       168,
+	MsgParamValue:     220,
+}
+
+// Frame is one wire frame.
+type Frame struct {
+	Seq     uint8
+	SysID   uint8
+	CompID  uint8
+	MsgID   MsgID
+	Payload []byte
+}
+
+// X25 computes the CRC-16/X.25 (the MAVLink checksum) over data.
+func X25(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		tmp := uint16(b) ^ (crc & 0xFF)
+		tmp ^= (tmp << 4) & 0xFF
+		crc = (crc >> 8) ^ (tmp << 8) ^ (tmp << 3) ^ (tmp >> 4)
+	}
+	return crc
+}
+
+// Marshal serializes the frame.
+func (f Frame) Marshal() ([]byte, error) {
+	if len(f.Payload) > MaxPayload {
+		return nil, errors.New("mavlink: payload too large")
+	}
+	buf := make([]byte, 0, 8+len(f.Payload))
+	buf = append(buf, Magic, byte(len(f.Payload)), f.Seq, f.SysID, f.CompID, byte(f.MsgID))
+	buf = append(buf, f.Payload...)
+	crc := X25(append(buf[1:], crcExtra[f.MsgID]))
+	var cb [2]byte
+	binary.LittleEndian.PutUint16(cb[:], crc)
+	return append(buf, cb[:]...), nil
+}
+
+// Parser is a streaming frame decoder: feed arbitrary byte chunks, collect
+// complete frames; garbage and CRC failures are skipped with resync.
+type Parser struct {
+	buf      []byte
+	BadCRC   int
+	Resyncs  int
+	Complete int
+}
+
+// Push appends bytes and returns any complete frames decoded.
+func (p *Parser) Push(data []byte) []Frame {
+	p.buf = append(p.buf, data...)
+	var out []Frame
+	for {
+		// find magic
+		i := 0
+		for i < len(p.buf) && p.buf[i] != Magic {
+			i++
+		}
+		if i > 0 {
+			p.Resyncs++
+			p.buf = p.buf[i:]
+		}
+		if len(p.buf) < 8 {
+			return out
+		}
+		plen := int(p.buf[1])
+		total := 8 + plen
+		if len(p.buf) < total {
+			return out
+		}
+		frame := Frame{
+			Seq:     p.buf[2],
+			SysID:   p.buf[3],
+			CompID:  p.buf[4],
+			MsgID:   MsgID(p.buf[5]),
+			Payload: append([]byte(nil), p.buf[6:6+plen]...),
+		}
+		wire := binary.LittleEndian.Uint16(p.buf[6+plen : 8+plen])
+		calc := X25(append(append([]byte(nil), p.buf[1:6+plen]...), crcExtra[frame.MsgID]))
+		if wire == calc {
+			p.Complete++
+			out = append(out, frame)
+			p.buf = p.buf[total:]
+		} else {
+			p.BadCRC++
+			p.buf = p.buf[1:] // resync past this magic byte
+		}
+	}
+}
+
+// --- Message payloads ---
+
+// Heartbeat announces liveness and mode.
+type Heartbeat struct {
+	Mode   uint8
+	Armed  bool
+	TimeMS uint32
+}
+
+// Attitude reports roll/pitch/yaw and body rates.
+type Attitude struct {
+	TimeMS                       uint32
+	Roll, Pitch, Yaw             float32
+	RollRate, PitchRate, YawRate float32
+}
+
+// GlobalPosition reports position and velocity (local ENU here).
+type GlobalPosition struct {
+	TimeMS     uint32
+	X, Y, Z    float32
+	VX, VY, VZ float32
+}
+
+// BatteryStatus reports pack state.
+type BatteryStatus struct {
+	VoltageV float32
+	SoC      float32 // 0..1
+	PowerW   float32
+}
+
+// StatusText carries a severity-tagged log line.
+type StatusText struct {
+	Severity uint8
+	Text     string
+}
+
+// CommandLong carries a parametrized command (arm, takeoff, set-mode...).
+type CommandLong struct {
+	Command uint16
+	Param   [4]float32
+}
+
+// Command numbers for CommandLong.
+const (
+	CmdArm uint16 = iota + 400
+	CmdTakeoff
+	CmdLand
+	CmdRTL
+	CmdStartMission
+)
+
+// MissionItem uploads one waypoint.
+type MissionItem struct {
+	Index   uint16
+	X, Y, Z float32
+	HoldS   float32
+}
+
+func putF32(b []byte, v float32) { binary.LittleEndian.PutUint32(b, math.Float32bits(v)) }
+func getF32(b []byte) float32    { return math.Float32frombits(binary.LittleEndian.Uint32(b)) }
+
+// EncodeHeartbeat packs a heartbeat frame payload.
+func EncodeHeartbeat(h Heartbeat) []byte {
+	b := make([]byte, 6)
+	b[0] = h.Mode
+	if h.Armed {
+		b[1] = 1
+	}
+	binary.LittleEndian.PutUint32(b[2:], h.TimeMS)
+	return b
+}
+
+// DecodeHeartbeat unpacks a heartbeat payload.
+func DecodeHeartbeat(b []byte) (Heartbeat, error) {
+	if len(b) != 6 {
+		return Heartbeat{}, fmt.Errorf("mavlink: heartbeat payload %d bytes", len(b))
+	}
+	return Heartbeat{Mode: b[0], Armed: b[1] == 1, TimeMS: binary.LittleEndian.Uint32(b[2:])}, nil
+}
+
+// EncodeAttitude packs an attitude payload.
+func EncodeAttitude(a Attitude) []byte {
+	b := make([]byte, 28)
+	binary.LittleEndian.PutUint32(b, a.TimeMS)
+	for i, v := range []float32{a.Roll, a.Pitch, a.Yaw, a.RollRate, a.PitchRate, a.YawRate} {
+		putF32(b[4+4*i:], v)
+	}
+	return b
+}
+
+// DecodeAttitude unpacks an attitude payload.
+func DecodeAttitude(b []byte) (Attitude, error) {
+	if len(b) != 28 {
+		return Attitude{}, fmt.Errorf("mavlink: attitude payload %d bytes", len(b))
+	}
+	return Attitude{
+		TimeMS: binary.LittleEndian.Uint32(b),
+		Roll:   getF32(b[4:]), Pitch: getF32(b[8:]), Yaw: getF32(b[12:]),
+		RollRate: getF32(b[16:]), PitchRate: getF32(b[20:]), YawRate: getF32(b[24:]),
+	}, nil
+}
+
+// EncodeGlobalPosition packs a position payload.
+func EncodeGlobalPosition(g GlobalPosition) []byte {
+	b := make([]byte, 28)
+	binary.LittleEndian.PutUint32(b, g.TimeMS)
+	for i, v := range []float32{g.X, g.Y, g.Z, g.VX, g.VY, g.VZ} {
+		putF32(b[4+4*i:], v)
+	}
+	return b
+}
+
+// DecodeGlobalPosition unpacks a position payload.
+func DecodeGlobalPosition(b []byte) (GlobalPosition, error) {
+	if len(b) != 28 {
+		return GlobalPosition{}, fmt.Errorf("mavlink: position payload %d bytes", len(b))
+	}
+	return GlobalPosition{
+		TimeMS: binary.LittleEndian.Uint32(b),
+		X:      getF32(b[4:]), Y: getF32(b[8:]), Z: getF32(b[12:]),
+		VX: getF32(b[16:]), VY: getF32(b[20:]), VZ: getF32(b[24:]),
+	}, nil
+}
+
+// EncodeBatteryStatus packs a battery payload.
+func EncodeBatteryStatus(s BatteryStatus) []byte {
+	b := make([]byte, 12)
+	putF32(b, s.VoltageV)
+	putF32(b[4:], s.SoC)
+	putF32(b[8:], s.PowerW)
+	return b
+}
+
+// DecodeBatteryStatus unpacks a battery payload.
+func DecodeBatteryStatus(b []byte) (BatteryStatus, error) {
+	if len(b) != 12 {
+		return BatteryStatus{}, fmt.Errorf("mavlink: battery payload %d bytes", len(b))
+	}
+	return BatteryStatus{VoltageV: getF32(b), SoC: getF32(b[4:]), PowerW: getF32(b[8:])}, nil
+}
+
+// EncodeStatusText packs a status-text payload (text truncated to 200 bytes).
+func EncodeStatusText(s StatusText) []byte {
+	txt := s.Text
+	if len(txt) > 200 {
+		txt = txt[:200]
+	}
+	b := make([]byte, 1+len(txt))
+	b[0] = s.Severity
+	copy(b[1:], txt)
+	return b
+}
+
+// DecodeStatusText unpacks a status-text payload.
+func DecodeStatusText(b []byte) (StatusText, error) {
+	if len(b) < 1 {
+		return StatusText{}, errors.New("mavlink: empty status text")
+	}
+	return StatusText{Severity: b[0], Text: string(b[1:])}, nil
+}
+
+// EncodeCommandLong packs a command payload.
+func EncodeCommandLong(c CommandLong) []byte {
+	b := make([]byte, 18)
+	binary.LittleEndian.PutUint16(b, c.Command)
+	for i, v := range c.Param {
+		putF32(b[2+4*i:], v)
+	}
+	return b
+}
+
+// DecodeCommandLong unpacks a command payload.
+func DecodeCommandLong(b []byte) (CommandLong, error) {
+	if len(b) != 18 {
+		return CommandLong{}, fmt.Errorf("mavlink: command payload %d bytes", len(b))
+	}
+	c := CommandLong{Command: binary.LittleEndian.Uint16(b)}
+	for i := range c.Param {
+		c.Param[i] = getF32(b[2+4*i:])
+	}
+	return c, nil
+}
+
+// EncodeMissionItem packs a waypoint payload.
+func EncodeMissionItem(m MissionItem) []byte {
+	b := make([]byte, 18)
+	binary.LittleEndian.PutUint16(b, m.Index)
+	putF32(b[2:], m.X)
+	putF32(b[6:], m.Y)
+	putF32(b[10:], m.Z)
+	putF32(b[14:], m.HoldS)
+	return b
+}
+
+// DecodeMissionItem unpacks a waypoint payload.
+func DecodeMissionItem(b []byte) (MissionItem, error) {
+	if len(b) != 18 {
+		return MissionItem{}, fmt.Errorf("mavlink: mission item payload %d bytes", len(b))
+	}
+	return MissionItem{
+		Index: binary.LittleEndian.Uint16(b),
+		X:     getF32(b[2:]), Y: getF32(b[6:]), Z: getF32(b[10:]),
+		HoldS: getF32(b[14:]),
+	}, nil
+}
+
+// Param carries one named tunable — the MAVLink parameter protocol the
+// artifact uses to reconfigure the drone mid-flight. Names are up to 16
+// ASCII characters, zero-padded on the wire.
+type Param struct {
+	Name  string
+	Value float32
+}
+
+// EncodeParam packs a PARAM_SET / PARAM_VALUE payload.
+func EncodeParam(p Param) []byte {
+	b := make([]byte, 20)
+	n := p.Name
+	if len(n) > 16 {
+		n = n[:16]
+	}
+	copy(b, n)
+	putF32(b[16:], p.Value)
+	return b
+}
+
+// DecodeParam unpacks a parameter payload.
+func DecodeParam(b []byte) (Param, error) {
+	if len(b) != 20 {
+		return Param{}, fmt.Errorf("mavlink: param payload %d bytes", len(b))
+	}
+	name := b[:16]
+	end := 0
+	for end < 16 && name[end] != 0 {
+		end++
+	}
+	return Param{Name: string(name[:end]), Value: getF32(b[16:])}, nil
+}

@@ -1,0 +1,86 @@
+package microarch
+
+// Dual-core isolation experiment (§2.2): "to ensure that the inner-loop
+// control is in real time, the computations for autonomous tasks in the
+// outer loop are not co-located on the same computation core or even the
+// same unit as for the inner-loop control." This file models the middle
+// option — separate cores on one SoC: private L1/TLB/branch state per core,
+// a shared last-level cache — and shows how much of the Figure 15
+// interference that removes (and how much LLC sharing still leaks).
+
+// NewCoreSharedL2 builds a core with private L1/TLB/BP using the provided
+// shared L2.
+func NewCoreSharedL2(l2 *Cache) *Core {
+	c := NewCore()
+	c.L2 = l2
+	return c
+}
+
+// RunDedicatedCores executes the primary and secondary workloads on two
+// cores that share only the L2, interleaving bursts on the same schedule as
+// RunCoResident so the LLC pressure is comparable. It reports the PRIMARY
+// workload's metrics.
+func RunDedicatedCores(primary, secondary Workload, totalIters, quantum, secondaryScale int) Metrics {
+	shared := NewCache(512*1024, 16, 64)
+	p := NewCoreSharedL2(shared)
+	s := NewCoreSharedL2(shared)
+
+	var instr uint64
+	var cyc float64
+	var llcA, llcM, brA, brM, tlbA, tlbM uint64
+	done := 0
+	for done < totalIters {
+		n := quantum
+		if done+n > totalIters {
+			n = totalIters - done
+		}
+		before := p.counters()
+		primary.Burst(p, n)
+		after := p.counters()
+		instr += uint64(after.instr - before.instr)
+		cyc += after.cycles - before.cycles
+		llcA += after.llcA - before.llcA
+		llcM += after.llcM - before.llcM
+		brA += after.brA - before.brA
+		brM += after.brM - before.brM
+		tlbA += after.tlbA - before.tlbA
+		tlbM += after.tlbM - before.tlbM
+		done += n
+		secondary.Burst(s, quantum*secondaryScale)
+	}
+	var out Metrics
+	out.Instructions = instr
+	if cyc > 0 {
+		out.IPC = float64(instr) / cyc
+	}
+	if llcA > 0 {
+		out.LLCMissRate = float64(llcM) / float64(llcA)
+	}
+	if brA > 0 {
+		out.BranchMissRate = float64(brM) / float64(brA)
+	}
+	out.TLBMisses = tlbM
+	if tlbA > 0 {
+		out.TLBMissRate = float64(tlbM) / float64(tlbA)
+	}
+	return out
+}
+
+// IsolationResult extends Figure 15 with the dedicated-core and
+// dedicated-unit (separate RPi) configurations.
+type IsolationResult struct {
+	Solo          Metrics // autopilot alone (dedicated unit)
+	SharedCore    Metrics // Figure 15's co-resident case
+	DedicatedCore Metrics // own core, shared LLC
+}
+
+// RunIsolationStudy measures the autopilot under the three §2.2 deployment
+// options.
+func RunIsolationStudy(seed int64, iters int) IsolationResult {
+	return IsolationResult{
+		Solo:       RunSolo(NewAutopilotWorkload(seed), iters),
+		SharedCore: RunCoResident(NewAutopilotWorkload(seed), NewSLAMWorkload(seed+1), iters, 40, 8),
+		DedicatedCore: RunDedicatedCores(
+			NewAutopilotWorkload(seed), NewSLAMWorkload(seed+1), iters, 40, 8),
+	}
+}

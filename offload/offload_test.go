@@ -1,0 +1,115 @@
+package offload
+
+import (
+	"testing"
+
+	"dronedse/dataset"
+	"dronedse/slam"
+)
+
+func mh01Stats(t *testing.T) slam.Stats {
+	t.Helper()
+	seq, err := dataset.Generate(dataset.EuRoCSpecs()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return slam.RunSequence(seq).Stats
+}
+
+func TestEvaluateRejectsEmptyLedger(t *testing.T) {
+	if _, err := Evaluate(WiFi5GHz(), GroundStationGPU(), SLAMWorkload(), slam.Stats{}, 2); err == nil {
+		t.Error("empty ledger accepted")
+	}
+}
+
+// TestOffloadFeasibilityLandscape is the extension experiment: WiFi to a
+// ground GPU can host SLAM inside the outer-loop deadline; the paper's
+// 915 MHz telemetry kit cannot carry the imagery at all.
+func TestOffloadFeasibilityLandscape(t *testing.T) {
+	st := mh01Stats(t)
+	w := SLAMWorkload()
+
+	reports, err := Compare(GroundStationGPU(), w, st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Report{}
+	for _, r := range reports {
+		byName[r.Link.Name] = r
+	}
+
+	telem := byName["915MHz telemetry"]
+	if telem.ThroughputOK {
+		t.Error("0.2 Mbps telemetry cannot stream 20 FPS imagery (4 Mbps needed)")
+	}
+	if telem.Feasible() {
+		t.Error("telemetry offload should be infeasible")
+	}
+
+	wifi := byName["5GHz WiFi"]
+	if !wifi.ThroughputOK {
+		t.Errorf("WiFi throughput flagged infeasible: %+v", wifi)
+	}
+	if !wifi.DeadlineOK {
+		t.Errorf("WiFi end-to-end %.1f ms misses the %.0f ms deadline", wifi.TotalMS, w.DeadlineMS)
+	}
+	if !wifi.Feasible() {
+		t.Error("WiFi offload to a ground GPU should be feasible")
+	}
+	// Offloading over WiFi costs little airborne power vs a 2 W on-board
+	// host (1.8 W radio), so the win is modest — which is why the paper
+	// pursues on-board FPGAs instead.
+	if wifi.PowerDeltaW > 0.5 || wifi.PowerDeltaW < -2 {
+		t.Errorf("WiFi power delta = %v W, implausible", wifi.PowerDeltaW)
+	}
+
+	lte := byName["LTE"]
+	if !lte.ThroughputOK {
+		t.Error("12 Mbps LTE should carry the 4 Mbps stream")
+	}
+	// LTE latency + serialization pushes the result age up; it must at
+	// least be clearly worse than WiFi.
+	if lte.TotalMS <= wifi.TotalMS {
+		t.Error("LTE should be slower end-to-end than WiFi")
+	}
+}
+
+func TestLatencyComponentsAddUp(t *testing.T) {
+	st := mh01Stats(t)
+	r, err := Evaluate(WiFi5GHz(), GroundStationGPU(), SLAMWorkload(), st, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := r.UplinkMS + r.RTTHalfMS + r.ComputeMS + r.RTTHalfMS + r.DownlinkMS
+	if diff := sum - r.TotalMS; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("components sum %v != total %v", sum, r.TotalMS)
+	}
+	if r.ComputeMS <= 0 || r.UplinkMS <= 0 {
+		t.Error("degenerate latency components")
+	}
+	// A 40x node computes each frame faster than the on-board RPi's
+	// ~40-50 ms.
+	if r.ComputeMS > 5 {
+		t.Errorf("remote compute %.2f ms per frame, expected ~1 ms at 40x", r.ComputeMS)
+	}
+}
+
+func TestFasterNodeShortensCompute(t *testing.T) {
+	st := mh01Stats(t)
+	slow, _ := Evaluate(WiFi5GHz(), Node{Name: "slow", SpeedupVsRPi: 2}, SLAMWorkload(), st, 2)
+	fast, _ := Evaluate(WiFi5GHz(), Node{Name: "fast", SpeedupVsRPi: 80}, SLAMWorkload(), st, 2)
+	if fast.ComputeMS >= slow.ComputeMS {
+		t.Error("faster node did not shorten compute time")
+	}
+}
+
+func TestLinkConstants(t *testing.T) {
+	for _, l := range []Link{Telemetry915(), WiFi5GHz(), LTE()} {
+		if l.BandwidthMbps <= 0 || l.RTTMS <= 0 || l.TxPowerW <= 0 || l.RangeM <= 0 {
+			t.Errorf("%s has degenerate parameters: %+v", l.Name, l)
+		}
+	}
+	if Telemetry915().BandwidthMbps >= WiFi5GHz().BandwidthMbps {
+		t.Error("telemetry should be far slower than WiFi")
+	}
+}

@@ -1,0 +1,200 @@
+// Package planner is the outer-loop navigation substrate of Table 1
+// ("Navigation & trajectory", "Planning"): an A* grid planner over the
+// occupancy map, shortcut smoothing, and trapezoidal-velocity trajectory
+// generation producing the position+velocity targets the inner loop
+// consumes (Figure 6). Planning runs with relaxed deadlines — the §6 point
+// that mission planning does not load the real-time loop.
+package planner
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"dronedse/mapping"
+	"dronedse/mathx"
+)
+
+// Planner plans over an (already inflated) occupancy grid within bounds.
+type Planner struct {
+	Grid *mapping.Grid
+	// Min and Max bound the search volume (meters).
+	Min, Max mathx.Vec3
+	// MaxExpansions bounds the A* search.
+	MaxExpansions int
+}
+
+// New builds a planner with a default search budget.
+func New(grid *mapping.Grid, min, max mathx.Vec3) *Planner {
+	return &Planner{Grid: grid, Min: min, Max: max, MaxExpansions: 200000}
+}
+
+// Errors.
+var (
+	ErrStartBlocked = errors.New("planner: start inside an obstacle")
+	ErrGoalBlocked  = errors.New("planner: goal inside an obstacle")
+	ErrNoPath       = errors.New("planner: no path found")
+)
+
+// neighbor offsets: 6-connected axis moves plus 12 planar diagonals.
+var moves = func() [][3]int {
+	var out [][3]int
+	for dx := -1; dx <= 1; dx++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dz := -1; dz <= 1; dz++ {
+				n := abs(dx) + abs(dy) + abs(dz)
+				if n == 1 || n == 2 {
+					out = append(out, [3]int{dx, dy, dz})
+				}
+			}
+		}
+	}
+	return out
+}()
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+type node struct {
+	key  mapping.Key
+	g, f float64
+	idx  int
+}
+
+type pq []*node
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].f < p[j].f }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i]; p[i].idx, p[j].idx = i, j }
+func (p *pq) Push(x interface{}) { n := x.(*node); n.idx = len(*p); *p = append(*p, n) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := old[len(old)-1]
+	*p = old[:len(old)-1]
+	return n
+}
+
+// PlanPath searches A* from start to goal over free voxels and returns the
+// voxel-center waypoint list (start and goal included verbatim).
+func (p *Planner) PlanPath(start, goal mathx.Vec3) ([]mathx.Vec3, error) {
+	if p.Grid.Occupied(start) {
+		return nil, ErrStartBlocked
+	}
+	if p.Grid.Occupied(goal) {
+		return nil, ErrGoalBlocked
+	}
+	startK := p.Grid.KeyOf(start)
+	goalK := p.Grid.KeyOf(goal)
+	if startK == goalK {
+		return []mathx.Vec3{start, goal}, nil
+	}
+
+	h := func(k mapping.Key) float64 {
+		return p.Grid.Center(k).Sub(p.Grid.Center(goalK)).Norm()
+	}
+	open := &pq{}
+	heap.Init(open)
+	nodes := map[mapping.Key]*node{}
+	came := map[mapping.Key]mapping.Key{}
+	closed := map[mapping.Key]bool{}
+
+	s := &node{key: startK, g: 0, f: h(startK)}
+	heap.Push(open, s)
+	nodes[startK] = s
+
+	expansions := 0
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(*node)
+		if cur.key == goalK {
+			return p.reconstruct(came, cur.key, start, goal), nil
+		}
+		if closed[cur.key] {
+			continue
+		}
+		closed[cur.key] = true
+		expansions++
+		if expansions > p.MaxExpansions {
+			break
+		}
+		for _, m := range moves {
+			nk := mapping.Key{cur.key[0] + m[0], cur.key[1] + m[1], cur.key[2] + m[2]}
+			if closed[nk] || !p.inBounds(nk) || p.Grid.OccupiedKey(nk) {
+				continue
+			}
+			step := math.Sqrt(float64(m[0]*m[0]+m[1]*m[1]+m[2]*m[2])) * p.Grid.ResM
+			ng := cur.g + step
+			if n, ok := nodes[nk]; ok {
+				if ng < n.g {
+					n.g = ng
+					n.f = ng + h(nk)
+					came[nk] = cur.key
+					heap.Fix(open, n.idx)
+				}
+				continue
+			}
+			n := &node{key: nk, g: ng, f: ng + h(nk)}
+			nodes[nk] = n
+			came[nk] = cur.key
+			heap.Push(open, n)
+		}
+	}
+	return nil, ErrNoPath
+}
+
+func (p *Planner) inBounds(k mapping.Key) bool {
+	c := p.Grid.Center(k)
+	return c.X >= p.Min.X && c.X <= p.Max.X &&
+		c.Y >= p.Min.Y && c.Y <= p.Max.Y &&
+		c.Z >= p.Min.Z && c.Z <= p.Max.Z
+}
+
+func (p *Planner) reconstruct(came map[mapping.Key]mapping.Key, k mapping.Key, start, goal mathx.Vec3) []mathx.Vec3 {
+	var rev []mathx.Vec3
+	rev = append(rev, goal)
+	for {
+		prev, ok := came[k]
+		if !ok {
+			break
+		}
+		rev = append(rev, p.Grid.Center(k))
+		k = prev
+	}
+	rev = append(rev, start)
+	out := make([]mathx.Vec3, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// Smooth shortcut-smooths a path: repeatedly bridge non-adjacent waypoints
+// whose connecting segment is collision-free.
+func (p *Planner) Smooth(path []mathx.Vec3) []mathx.Vec3 {
+	if len(path) <= 2 {
+		return path
+	}
+	out := []mathx.Vec3{path[0]}
+	i := 0
+	for i < len(path)-1 {
+		j := len(path) - 1
+		for j > i+1 && p.Grid.SegmentCollides(path[i], path[j]) {
+			j--
+		}
+		out = append(out, path[j])
+		i = j
+	}
+	return out
+}
+
+// PathLength sums a path's segment lengths.
+func PathLength(path []mathx.Vec3) float64 {
+	total := 0.0
+	for i := 1; i < len(path); i++ {
+		total += path[i].Sub(path[i-1]).Norm()
+	}
+	return total
+}

@@ -1,0 +1,217 @@
+package planner
+
+import (
+	"math"
+	"testing"
+
+	"dronedse/mapping"
+	"dronedse/mathx"
+)
+
+// wallWorld builds a grid with a wall at x=5 (y,z in [0,6]) pierced by a
+// window at y∈[2.5,3.5], z∈[2.5,3.5].
+func wallWorld() *mapping.Grid {
+	g := mapping.NewGrid(0.5)
+	for y := 0.25; y < 6; y += 0.5 {
+		for z := 0.25; z < 6; z += 0.5 {
+			if y > 2.5 && y < 3.5 && z > 2.5 && z < 3.5 {
+				continue // window
+			}
+			g.InsertPoint(mathx.V3(5.25, y, z))
+		}
+	}
+	return g
+}
+
+func bounds() (mathx.Vec3, mathx.Vec3) {
+	return mathx.V3(-1, -1, 0), mathx.V3(12, 8, 8)
+}
+
+func TestPlanStraightLineWhenFree(t *testing.T) {
+	min, max := bounds()
+	p := New(mapping.NewGrid(0.5), min, max)
+	path, err := p.PlanPath(mathx.V3(0, 0, 1), mathx.V3(8, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := p.Smooth(path)
+	if len(sm) != 2 {
+		t.Errorf("free-space smoothed path has %d waypoints, want 2", len(sm))
+	}
+	if PathLength(sm) > 1.05*mathx.V3(8, 4, 1).Norm() {
+		t.Errorf("free-space path length %.2f not near straight-line %.2f",
+			PathLength(sm), mathx.V3(8, 4, 1).Norm())
+	}
+}
+
+func TestPlanThroughWindow(t *testing.T) {
+	min, max := bounds()
+	p := New(wallWorld(), min, max)
+	start := mathx.V3(1, 3, 3)
+	goal := mathx.V3(9, 3, 3)
+	path, err := p.PlanPath(start, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every leg of the smoothed path must be collision-free.
+	sm := p.Smooth(path)
+	for i := 1; i < len(sm); i++ {
+		if p.Grid.SegmentCollides(sm[i-1], sm[i]) {
+			t.Fatalf("smoothed leg %d collides", i)
+		}
+	}
+	// The path must actually thread the window region at the wall plane.
+	threaded := false
+	for i := 1; i < len(path); i++ {
+		a, b := path[i-1], path[i]
+		if (a.X-5.25)*(b.X-5.25) <= 0 { // crosses the wall plane
+			tt := (5.25 - a.X) / (b.X - a.X)
+			y := a.Y + tt*(b.Y-a.Y)
+			z := a.Z + tt*(b.Z-a.Z)
+			if y > 2.2 && y < 3.8 && z > 2.2 && z < 3.8 {
+				threaded = true
+			}
+		}
+	}
+	if !threaded {
+		t.Error("path did not pass through the window")
+	}
+	if PathLength(path) < 8 {
+		t.Errorf("path suspiciously short: %.2f m", PathLength(path))
+	}
+}
+
+func TestPlanAroundWallWithoutWindow(t *testing.T) {
+	g := mapping.NewGrid(0.5)
+	for y := 0.25; y < 6; y += 0.5 {
+		for z := 0.25; z < 6; z += 0.5 {
+			g.InsertPoint(mathx.V3(5.25, y, z))
+		}
+	}
+	min, max := bounds()
+	p := New(g, min, max)
+	path, err := p.PlanPath(mathx.V3(1, 3, 3), mathx.V3(9, 3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The detour (over or around the wall) must be meaningfully longer
+	// than the straight line.
+	if PathLength(path) < 9 {
+		t.Errorf("detour length %.2f m too short for a 6x6 wall", PathLength(path))
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	min, max := bounds()
+	g := wallWorld()
+	p := New(g, min, max)
+	if _, err := p.PlanPath(mathx.V3(5.25, 1, 1), mathx.V3(9, 3, 3)); err != ErrStartBlocked {
+		t.Errorf("blocked start: err = %v", err)
+	}
+	if _, err := p.PlanPath(mathx.V3(1, 3, 3), mathx.V3(5.25, 1, 1)); err != ErrGoalBlocked {
+		t.Errorf("blocked goal: err = %v", err)
+	}
+	// Goal outside bounds is unreachable.
+	if _, err := p.PlanPath(mathx.V3(1, 3, 3), mathx.V3(50, 50, 50)); err == nil {
+		t.Error("out-of-bounds goal planned")
+	}
+}
+
+func TestPlanSameVoxel(t *testing.T) {
+	min, max := bounds()
+	p := New(mapping.NewGrid(0.5), min, max)
+	path, err := p.PlanPath(mathx.V3(1, 1, 1), mathx.V3(1.1, 1.1, 1.1))
+	if err != nil || len(path) != 2 {
+		t.Errorf("same-voxel plan = %v, %v", path, err)
+	}
+}
+
+func TestTrajectoryProfile(t *testing.T) {
+	path := []mathx.Vec3{{X: 0, Y: 0, Z: 5}, {X: 20, Y: 0, Z: 5}}
+	tr, err := PlanTrajectory(path, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoid: accel 2 s (4 m), cruise 12 m / 4 = 3 s, decel 2 s → 7 s.
+	if math.Abs(tr.TotalS-7) > 1e-9 {
+		t.Errorf("duration = %v, want 7 s", tr.TotalS)
+	}
+	if tr.MaxSpeed() != 4 {
+		t.Errorf("max speed = %v", tr.MaxSpeed())
+	}
+	// Midpoint of cruise: position 4 + 4*1.5 = 10 m, speed 4.
+	pos, vel := tr.Sample(3.5)
+	if math.Abs(pos.X-10) > 1e-9 || math.Abs(vel.X-4) > 1e-9 {
+		t.Errorf("cruise sample = %v, %v", pos, vel)
+	}
+	// End: holds the final waypoint at zero velocity.
+	pos, vel = tr.Sample(100)
+	if pos != path[1] || vel.Norm() != 0 {
+		t.Errorf("post-end sample = %v, %v", pos, vel)
+	}
+	// Start.
+	pos, vel = tr.Sample(-1)
+	if pos != path[0] || vel.Norm() != 0 {
+		t.Errorf("pre-start sample = %v, %v", pos, vel)
+	}
+}
+
+func TestTrajectoryTriangularShortLeg(t *testing.T) {
+	path := []mathx.Vec3{{Z: 5}, {X: 1, Z: 5}} // 1 m leg, never reaches vmax
+	tr, err := PlanTrajectory(path, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(2 * 1.0) // sqrt(a*L)
+	if math.Abs(tr.MaxSpeed()-want) > 1e-9 {
+		t.Errorf("triangular peak = %v, want %v", tr.MaxSpeed(), want)
+	}
+}
+
+func TestTrajectoryContinuity(t *testing.T) {
+	path := []mathx.Vec3{{Z: 5}, {X: 6, Z: 5}, {X: 6, Y: 8, Z: 7}, {X: 0, Y: 8, Z: 5}}
+	tr, err := PlanTrajectory(path, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, _ := tr.Sample(0)
+	dt := 0.01
+	for tt := dt; tt <= tr.TotalS+0.5; tt += dt {
+		pos, vel := tr.Sample(tt)
+		jump := pos.Sub(prev).Norm()
+		if jump > tr.MaxSpeed()*dt*1.5+1e-9 {
+			t.Fatalf("position jump %v at t=%v", jump, tt)
+		}
+		if vel.Norm() > 5+1e-9 {
+			t.Fatalf("velocity %v exceeds vmax at t=%v", vel.Norm(), tt)
+		}
+		prev = pos
+	}
+	// Velocity returns to zero at every waypoint (stop-at-waypoint
+	// profile), in particular at the end.
+	if _, vel := tr.Sample(tr.TotalS - 1e-6); vel.Norm() > 0.01 {
+		t.Errorf("terminal velocity = %v", vel.Norm())
+	}
+}
+
+func TestTrajectoryErrors(t *testing.T) {
+	if _, err := PlanTrajectory([]mathx.Vec3{{X: 1}}, 1, 1); err == nil {
+		t.Error("single waypoint accepted")
+	}
+	if _, err := PlanTrajectory([]mathx.Vec3{{X: 1}, {X: 1}}, 1, 1); err == nil {
+		t.Error("zero-length path accepted")
+	}
+	if _, err := PlanTrajectory([]mathx.Vec3{{}, {X: 1}}, 0, 1); err == nil {
+		t.Error("zero vmax accepted")
+	}
+}
+
+func TestPathLength(t *testing.T) {
+	if PathLength(nil) != 0 {
+		t.Error("empty path length")
+	}
+	l := PathLength([]mathx.Vec3{{}, {X: 3}, {X: 3, Y: 4}})
+	if math.Abs(l-7) > 1e-12 {
+		t.Errorf("length = %v, want 7", l)
+	}
+}

@@ -1,0 +1,233 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"dronedse/core"
+	"dronedse/dataset"
+	"dronedse/mathx"
+	"dronedse/slam"
+)
+
+// runStats executes a subset of the EuRoC suite once per test binary.
+var cachedStats []slam.Stats
+
+func euRoCStats(t *testing.T) []slam.Stats {
+	t.Helper()
+	if cachedStats != nil {
+		return cachedStats
+	}
+	specs := dataset.EuRoCSpecs()
+	if testing.Short() {
+		specs = specs[:3]
+	}
+	for _, spec := range specs {
+		seq, err := dataset.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedStats = append(cachedStats, slam.RunSequence(seq).Stats)
+	}
+	return cachedStats
+}
+
+func TestPlatformSetMatchesTable5Constants(t *testing.T) {
+	byName := map[string]Platform{}
+	for _, p := range All() {
+		byName[p.Name] = p
+	}
+	check := func(name string, power, weight float64) {
+		t.Helper()
+		p, ok := byName[name]
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if p.PowerOverheadW != power || p.WeightOverheadG != weight {
+			t.Errorf("%s = %.3g W / %.0f g, Table 5 says %.3g W / %.0f g",
+				name, p.PowerOverheadW, p.WeightOverheadG, power, weight)
+		}
+	}
+	check("RPi", 2, 50)
+	check("TX2", 10, 85)
+	check("FPGA", 0.417, 75)
+	check("ASIC", 0.024, 20)
+	if byName["FPGA"].IntegrationCost != Medium || byName["ASIC"].FabricationCost != High {
+		t.Error("cost classes disagree with Table 5")
+	}
+}
+
+// TestFigure17Speedups is the headline Figure 17 reproduction: TX2 GMean
+// ≈2.16x, FPGA GMean ≈30.7x over the RPi across the 11 sequences.
+func TestFigure17Speedups(t *testing.T) {
+	stats := euRoCStats(t)
+	base := RPi()
+	var tx2s, fpgas, asics []float64
+	for _, st := range stats {
+		tx2s = append(tx2s, Speedup(base, TX2(), st))
+		fpgas = append(fpgas, Speedup(base, FPGA(), st))
+		asics = append(asics, Speedup(base, ASIC(), st))
+	}
+	if g := mathx.GeoMean(tx2s); !mathx.WithinRel(g, 2.16, 0.15) {
+		t.Errorf("TX2 GMean = %.2f, paper 2.16", g)
+	}
+	if g := mathx.GeoMean(fpgas); !mathx.WithinRel(g, 30.7, 0.15) {
+		t.Errorf("FPGA GMean = %.1f, paper 30.7", g)
+	}
+	if g := mathx.GeoMean(asics); !mathx.WithinRel(g, 23.53, 0.15) {
+		t.Errorf("ASIC GMean = %.1f, paper 23.53", g)
+	}
+	// Ordering: FPGA > ASIC > TX2 > RPi (the paper's landscape).
+	if !(mathx.GeoMean(fpgas) > mathx.GeoMean(asics) && mathx.GeoMean(asics) > mathx.GeoMean(tx2s)) {
+		t.Error("platform speedup ordering violated")
+	}
+}
+
+// TestRealTime confirms §5.2's observation that every implementation meets
+// the 20 FPS sensor rate.
+func TestRealTime(t *testing.T) {
+	stats := euRoCStats(t)
+	for _, pl := range All() {
+		for i, st := range stats {
+			if fps := pl.FPS(st); fps < 20 {
+				t.Errorf("%s on sequence %d: %.1f FPS, below the 20 FPS camera", pl.Name, i, fps)
+			}
+		}
+	}
+}
+
+func TestBreakdownSumsToTotal(t *testing.T) {
+	stats := euRoCStats(t)
+	b := Breakdown(RPi(), FPGA(), "MH01", stats[0])
+	sum := b.FrontEnd + b.LocalBA + b.GlobalBA
+	if math.Abs(sum-b.Total) > 1e-9*b.Total {
+		t.Errorf("stacked categories sum to %v, total %v", sum, b.Total)
+	}
+	// BA must dominate the stacked bar, as in Figure 17.
+	if b.LocalBA+b.GlobalBA < b.FrontEnd {
+		t.Error("BA does not dominate the FPGA speedup bar")
+	}
+}
+
+func TestSeparateRPi(t *testing.T) {
+	stats := euRoCStats(t)
+	sp := Speedup(RPi(), SeparateRPi(), stats[0])
+	if !mathx.WithinRel(sp, 2.3, 0.01) {
+		t.Errorf("separate RPi speedup = %.2f, paper reports 2.3x", sp)
+	}
+}
+
+// TestTable5 checks the platform-comparison table against the paper's
+// published rows.
+func TestTable5(t *testing.T) {
+	rows := Table5(euRoCStats(t))
+	byName := map[string]Table5Row{}
+	for _, r := range rows {
+		byName[r.Platform] = r
+	}
+	// TX2 loses flight time on both classes (paper: ≈-4 and ≈-1.5 min).
+	if g := byName["TX2"].GainedSmallMin; g < -5 || g > -2 {
+		t.Errorf("TX2 small-drone gain = %.2f, paper ≈-4", g)
+	}
+	if g := byName["TX2"].GainedLargeMin; g < -2.5 || g > -0.5 {
+		t.Errorf("TX2 large-drone gain = %.2f, paper ≈-1.5", g)
+	}
+	// FPGA gains ≈2-3 small, ≈1 large.
+	if g := byName["FPGA"].GainedSmallMin; g < 1.8 || g > 3.3 {
+		t.Errorf("FPGA small-drone gain = %.2f, paper ≈2-3", g)
+	}
+	if g := byName["FPGA"].GainedLargeMin; g < 0.5 || g > 1.5 {
+		t.Errorf("FPGA large-drone gain = %.2f, paper ≈1", g)
+	}
+	// ASIC ≈2.2-3.2 small, ≈1 large; beats FPGA by only ~seconds.
+	if g := byName["ASIC"].GainedSmallMin; g < 2.2 || g > 3.4 {
+		t.Errorf("ASIC small-drone gain = %.2f, paper ≈2.2-3.2", g)
+	}
+	if d := byName["ASIC"].GainedSmallMin - byName["FPGA"].GainedSmallMin; d < 0 || d > 0.75 {
+		t.Errorf("ASIC-FPGA small gap = %.2f min, paper says ~20 seconds", d)
+	}
+	if byName["RPi"].GainedSmallMin != 0 || byName["RPi"].GainedLargeMin != 0 {
+		t.Error("baseline gains must be zero")
+	}
+}
+
+// TestTable5Exact is the repo's ablation: with the full Equation 1 weight
+// ripple, the FPGA's weight overhead eats most of its small-drone power win
+// — a caveat the paper's power-only arithmetic hides.
+func TestTable5Exact(t *testing.T) {
+	small, large, err := Table5Exact(core.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small["TX2"] >= 0 || large["TX2"] >= 0 {
+		t.Error("TX2 must lose flight time under the exact model too")
+	}
+	if small["ASIC"] <= 0 {
+		t.Error("ASIC must gain under the exact model (lighter AND thriftier)")
+	}
+	approx := Table5(euRoCStats(t))
+	var fpgaApprox float64
+	for _, r := range approx {
+		if r.Platform == "FPGA" {
+			fpgaApprox = r.GainedSmallMin
+		}
+	}
+	if small["FPGA"] >= fpgaApprox {
+		t.Error("weight ripple should reduce the FPGA's small-drone gain vs the power-only approximation")
+	}
+}
+
+// TestESLAMAblation quantifies why the paper integrates the eSLAM
+// front-end accelerator: with bundle adjustment at 39x but feature
+// extraction left on the ARM cores, Amdahl's law caps the FPGA below ~8x;
+// eSLAM recovers the published ~31x.
+func TestESLAMAblation(t *testing.T) {
+	stats := euRoCStats(t)
+	base := RPi()
+	var with, without []float64
+	for _, st := range stats {
+		with = append(with, Speedup(base, FPGA(), st))
+		without = append(without, Speedup(base, FPGANoESLAM(), st))
+	}
+	gWith, gWithout := mathx.GeoMean(with), mathx.GeoMean(without)
+	if gWithout >= gWith/3 {
+		t.Errorf("no-eSLAM FPGA at %.1fx is too close to the full %.1fx; Amdahl cap missing", gWithout, gWith)
+	}
+	if gWithout < 4 || gWithout > 10 {
+		t.Errorf("no-eSLAM FPGA GMean = %.1fx, expected ~5-8x (front end ~13%% of time)", gWithout)
+	}
+}
+
+func TestRPiPhasePower(t *testing.T) {
+	// §5.1 measured values.
+	if RPiPhasePowerW(AutopilotRunning) != 3.39 {
+		t.Error("autopilot phase power wrong")
+	}
+	if RPiPhasePowerW(AutopilotSLAMIdle) != 4.05 {
+		t.Error("SLAM-idle phase power wrong")
+	}
+	if RPiPhasePowerW(AutopilotSLAMFlying) != 4.56 {
+		t.Error("SLAM-flying phase power wrong")
+	}
+	if RPiPhasePeakW(AutopilotSLAMFlying) != 5.0 {
+		t.Error("peak power should reach 5 W while SLAM is active")
+	}
+	// Monotone phase ordering.
+	order := []RPiPhase{Disconnected, PiShutdown, AutopilotRunning, AutopilotSLAMIdle, AutopilotSLAMFlying}
+	for i := 1; i < len(order); i++ {
+		if RPiPhasePowerW(order[i]) <= RPiPhasePowerW(order[i-1]) {
+			t.Errorf("phase power not increasing at %v", order[i])
+		}
+	}
+	for _, p := range order {
+		if p.String() == "" {
+			t.Error("phase missing a name")
+		}
+	}
+}
+
+func TestCostClassString(t *testing.T) {
+	if Low.String() != "Low" || Medium.String() != "Medium" || High.String() != "High" {
+		t.Error("cost class strings wrong")
+	}
+}

@@ -1,0 +1,63 @@
+package platform
+
+// RPiPhase is an operating phase of the companion computer during the
+// Figure 16a experiment.
+type RPiPhase int
+
+// Phases in the order the paper's trace walks them.
+const (
+	// Disconnected: the meter reads the idle supply.
+	Disconnected RPiPhase = iota
+	// AutopilotRunning: Pi is on, ArduCopter-equivalent autopilot running.
+	AutopilotRunning
+	// AutopilotSLAMIdle: SLAM started but the drone is not flying, so the
+	// pipeline idles on a static scene.
+	AutopilotSLAMIdle
+	// AutopilotSLAMFlying: SLAM actively processing flight imagery.
+	AutopilotSLAMFlying
+	// PiShutdown: Pi halted; the rail still feeds Navio2 and peripherals.
+	PiShutdown
+)
+
+// String implements fmt.Stringer.
+func (p RPiPhase) String() string {
+	switch p {
+	case Disconnected:
+		return "disconnected"
+	case AutopilotRunning:
+		return "autopilot"
+	case AutopilotSLAMIdle:
+		return "autopilot+SLAM(idle)"
+	case AutopilotSLAMFlying:
+		return "autopilot+SLAM(flying)"
+	default:
+		return "shutdown"
+	}
+}
+
+// RPiPhasePowerW returns the paper's measured average RPi power per phase
+// (§5.1): 3.39 W running the autopilot, 4.05 W with SLAM started but idle,
+// 4.56 W average (up to ~5 W) with SLAM active in flight.
+func RPiPhasePowerW(p RPiPhase) float64 {
+	switch p {
+	case Disconnected:
+		return 0.35
+	case AutopilotRunning:
+		return 3.39
+	case AutopilotSLAMIdle:
+		return 4.05
+	case AutopilotSLAMFlying:
+		return 4.56
+	default: // PiShutdown: Navio2 + peripherals only
+		return 1.1
+	}
+}
+
+// RPiPhasePeakW returns the phase's peak draw (Figure 16a shows ~5 W bursts
+// while SLAM is actively processing).
+func RPiPhasePeakW(p RPiPhase) float64 {
+	if p == AutopilotSLAMFlying {
+		return 5.0
+	}
+	return RPiPhasePowerW(p) * 1.05
+}

@@ -1,0 +1,141 @@
+// Package power models the drone power-delivery system (§2.1.2): the LiPo
+// battery pack with its drain limit, C-rating current ceiling and voltage
+// sag, and the ESC conversion stage. The design-space core uses the static
+// relationships; the flight simulator uses the stateful Pack to drain energy
+// over a mission and produce the Figure 16b whole-drone power trace.
+package power
+
+import (
+	"errors"
+	"math"
+
+	"dronedse/units"
+)
+
+// Pack is a stateful LiPo battery pack.
+type Pack struct {
+	Cells       int
+	CapacityMah float64
+	DischargeC  float64
+	// PeukertK models the Peukert effect: at discharge currents above the
+	// 1C reference, the effective charge consumed per amp rises as
+	// (I/1C)^(K-1). LiPo chemistry is mild (1.03-1.10); zero disables the
+	// effect. High-current racing drains deliver measurably less energy,
+	// which is one reason the paper's short-flight ESC class exists.
+	PeukertK float64
+	// usedMah tracks consumed charge.
+	usedMah float64
+}
+
+// NewPack builds a pack; it validates the configuration.
+func NewPack(cells int, capacityMah, dischargeC float64) (*Pack, error) {
+	if cells < 1 || cells > 12 {
+		return nil, errors.New("power: cell count out of range")
+	}
+	if capacityMah <= 0 {
+		return nil, errors.New("power: non-positive capacity")
+	}
+	if dischargeC <= 0 {
+		return nil, errors.New("power: non-positive C rating")
+	}
+	return &Pack{Cells: cells, CapacityMah: capacityMah, DischargeC: dischargeC, PeukertK: 1.05}, nil
+}
+
+// NominalVoltage is the pack's nominal voltage (3.7 V/cell).
+func (p *Pack) NominalVoltage() float64 { return units.CellsToVoltage(p.Cells) }
+
+// Voltage returns the sagging pack voltage as a function of state of charge:
+// 4.2 V/cell full, ~3.5 V/cell at the 85% drain limit, with the typical flat
+// LiPo mid-curve.
+func (p *Pack) Voltage() float64 {
+	soc := p.StateOfCharge()
+	perCell := 3.3 + 0.9*math.Pow(soc, 0.6) // 4.2 at soc=1, steep near empty
+	return perCell * float64(p.Cells)
+}
+
+// StateOfCharge returns the remaining fraction of rated capacity in [0,1].
+func (p *Pack) StateOfCharge() float64 {
+	s := 1 - p.usedMah/p.CapacityMah
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// UsableEnergyWh returns the mission-usable energy at nominal voltage,
+// honoring the paper's 85% LiPoDrainLimit.
+func (p *Pack) UsableEnergyWh() float64 {
+	return units.MahToWh(p.CapacityMah, p.NominalVoltage()) * units.LiPoDrainLimit
+}
+
+// MaxContinuousCurrentA is the C-rating current ceiling.
+func (p *Pack) MaxContinuousCurrentA() float64 {
+	return units.CRatingMaxCurrent(p.CapacityMah, p.DischargeC)
+}
+
+// Drained reports whether the pack has hit the 85% drain limit: continuing
+// past it damages LiPo chemistry (§2.1.2), so the autopilot must land.
+func (p *Pack) Drained() bool {
+	return p.usedMah >= p.CapacityMah*units.LiPoDrainLimit
+}
+
+// Draw consumes current (A) for dt seconds and returns the delivered power
+// (W) at the present sagging voltage. Current beyond the C-rating ceiling is
+// clamped — a real pack would sag and trip the ESCs.
+func (p *Pack) Draw(currentA, dt float64) float64 {
+	if currentA < 0 {
+		currentA = 0
+	}
+	if max := p.MaxContinuousCurrentA(); currentA > max {
+		currentA = max
+	}
+	v := p.Voltage()
+	eff := currentA
+	if p.PeukertK > 1 && currentA > 0 {
+		ref := p.CapacityMah / 1000 // the 1C current
+		if ratio := currentA / ref; ratio > 1 {
+			eff = currentA * math.Pow(ratio, p.PeukertK-1)
+		}
+	}
+	p.usedMah += eff * 1000 * dt / 3600
+	return currentA * v
+}
+
+// DrawPower consumes energy at the requested electrical power (W) for dt
+// seconds, converting through the present voltage, and returns the actual
+// power delivered after the current clamp.
+func (p *Pack) DrawPower(watts, dt float64) float64 {
+	v := p.Voltage()
+	if v <= 0 {
+		return 0
+	}
+	return p.Draw(watts/v, dt)
+}
+
+// Reset restores a full charge.
+func (p *Pack) Reset() { p.usedMah = 0 }
+
+// ESCStage models the speed-controller conversion stage: efficiency and the
+// switching frequency requirement (6 x rotor RPM electrical commutation,
+// §3.1).
+type ESCStage struct {
+	Efficiency float64
+}
+
+// InputPower returns the battery-side power for a requested motor-side power.
+func (e ESCStage) InputPower(motorW float64) float64 {
+	if e.Efficiency <= 0 {
+		return 0
+	}
+	return motorW / e.Efficiency
+}
+
+// RequiredSwitchingHz returns the commutation frequency for a motor running
+// at the given RPM with the given pole-pair count (the paper notes 60-600 kHz
+// product ranges; DShot1200 signalling runs at 74.6 kHz).
+func RequiredSwitchingHz(rpm float64, polePairs int) float64 {
+	if polePairs < 1 {
+		polePairs = 1
+	}
+	return rpm / 60 * float64(polePairs) * 6
+}

@@ -1,0 +1,186 @@
+// Package sensors models the on-board acquisition suite at the data
+// frequencies of Table 2a: accelerometer and gyroscope at 100-200 Hz,
+// magnetometer at 10 Hz, barometer at 10-20 Hz, and GPS at 1-40 Hz, each
+// with bias and Gaussian noise. The estimator (internal/estimation) fuses
+// these exactly as the shared-libraries layer of Figure 5 does.
+package sensors
+
+import (
+	"math/rand"
+
+	"dronedse/mathx"
+	"dronedse/sim"
+	"dronedse/units"
+)
+
+// Clocked gates a sensor to its sample rate.
+type Clocked struct {
+	RateHz float64
+	last   float64
+	primed bool
+}
+
+// Due reports whether a new sample is available at time t and consumes the
+// tick when it is.
+func (c *Clocked) Due(t float64) bool {
+	if c.RateHz <= 0 {
+		return false
+	}
+	period := 1 / c.RateHz
+	if !c.primed || t-c.last >= period-1e-12 {
+		c.last = t
+		c.primed = true
+		return true
+	}
+	return false
+}
+
+// IMU is the 6-axis inertial measurement unit (§2.1.3-B lists one or two per
+// flight controller).
+type IMU struct {
+	Clocked
+	GyroNoiseStd  float64 // rad/s
+	GyroBias      mathx.Vec3
+	AccelNoiseStd float64 // m/s^2
+	AccelBias     mathx.Vec3
+	rng           *rand.Rand
+}
+
+// NewIMU returns an IMU at the given rate with typical MEMS noise.
+func NewIMU(rateHz float64, seed int64) *IMU {
+	r := rand.New(rand.NewSource(seed))
+	return &IMU{
+		Clocked:       Clocked{RateHz: rateHz},
+		GyroNoiseStd:  0.003,
+		AccelNoiseStd: 0.05,
+		GyroBias:      mathx.V3(r.NormFloat64(), r.NormFloat64(), r.NormFloat64()).Scale(0.002),
+		AccelBias:     mathx.V3(r.NormFloat64(), r.NormFloat64(), r.NormFloat64()).Scale(0.02),
+		rng:           r,
+	}
+}
+
+// IMUSample is one gyro+accel reading.
+type IMUSample struct {
+	// Gyro is the body angular rate (rad/s).
+	Gyro mathx.Vec3
+	// Accel is the specific force in the body frame (m/s^2): at rest it
+	// reads +g along body Z.
+	Accel mathx.Vec3
+}
+
+// Sample reads the IMU from the true state. trueAccelWorld is the drone's
+// world-frame acceleration (excluding gravity).
+func (u *IMU) Sample(s sim.State, trueAccelWorld mathx.Vec3) IMUSample {
+	n := func(std float64) float64 { return u.rng.NormFloat64() * std }
+	gyro := s.Omega.Add(u.GyroBias).
+		Add(mathx.V3(n(u.GyroNoiseStd), n(u.GyroNoiseStd), n(u.GyroNoiseStd)))
+	// Specific force = R^T (a + g ẑ).
+	f := s.Att.RotateInv(trueAccelWorld.Add(mathx.V3(0, 0, units.Gravity)))
+	accel := f.Add(u.AccelBias).
+		Add(mathx.V3(n(u.AccelNoiseStd), n(u.AccelNoiseStd), n(u.AccelNoiseStd)))
+	return IMUSample{Gyro: gyro, Accel: accel}
+}
+
+// Magnetometer reads heading at 10 Hz (Table 2a).
+type Magnetometer struct {
+	Clocked
+	NoiseStd float64 // rad
+	rng      *rand.Rand
+}
+
+// NewMagnetometer returns a magnetometer at the given rate.
+func NewMagnetometer(rateHz float64, seed int64) *Magnetometer {
+	return &Magnetometer{Clocked: Clocked{RateHz: rateHz}, NoiseStd: 0.02, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SampleYaw returns the measured yaw (rad).
+func (m *Magnetometer) SampleYaw(s sim.State) float64 {
+	_, _, yaw := s.Att.Euler()
+	return yaw + m.rng.NormFloat64()*m.NoiseStd
+}
+
+// Barometer reads altitude at 10-20 Hz (Table 2a).
+type Barometer struct {
+	Clocked
+	NoiseStd float64 // m
+	Bias     float64
+	rng      *rand.Rand
+}
+
+// NewBarometer returns a barometer at the given rate.
+func NewBarometer(rateHz float64, seed int64) *Barometer {
+	r := rand.New(rand.NewSource(seed))
+	return &Barometer{Clocked: Clocked{RateHz: rateHz}, NoiseStd: 0.15, Bias: r.NormFloat64() * 0.1, rng: r}
+}
+
+// SampleAltitude returns the measured altitude (m).
+func (b *Barometer) SampleAltitude(s sim.State) float64 {
+	return s.Pos.Z + b.Bias + b.rng.NormFloat64()*b.NoiseStd
+}
+
+// GPS reads horizontal position and velocity at 1-40 Hz (Table 2a).
+type GPS struct {
+	Clocked
+	PosNoiseStd float64 // m
+	VelNoiseStd float64 // m/s
+	rng         *rand.Rand
+}
+
+// NewGPS returns a GPS at the given rate.
+func NewGPS(rateHz float64, seed int64) *GPS {
+	return &GPS{Clocked: Clocked{RateHz: rateHz}, PosNoiseStd: 0.8, VelNoiseStd: 0.1, rng: rand.New(rand.NewSource(seed))}
+}
+
+// GPSSample is one position/velocity fix.
+type GPSSample struct {
+	Pos mathx.Vec3
+	Vel mathx.Vec3
+}
+
+// Sample returns a fix from the true state.
+func (g *GPS) Sample(s sim.State) GPSSample {
+	n := func(std float64) float64 { return g.rng.NormFloat64() * std }
+	return GPSSample{
+		Pos: s.Pos.Add(mathx.V3(n(g.PosNoiseStd), n(g.PosNoiseStd), n(g.PosNoiseStd*1.5))),
+		Vel: s.Vel.Add(mathx.V3(n(g.VelNoiseStd), n(g.VelNoiseStd), n(g.VelNoiseStd))),
+	}
+}
+
+// Suite bundles the Table 2a sensor set at its reference rates.
+type Suite struct {
+	IMU  *IMU
+	Mag  *Magnetometer
+	Baro *Barometer
+	GPS  *GPS
+}
+
+// NewSuite builds the default suite: IMU 200 Hz, magnetometer 10 Hz,
+// barometer 15 Hz, GPS 5 Hz.
+func NewSuite(seed int64) *Suite {
+	return &Suite{
+		IMU:  NewIMU(200, seed),
+		Mag:  NewMagnetometer(10, seed+1),
+		Baro: NewBarometer(15, seed+2),
+		GPS:  NewGPS(5, seed+3),
+	}
+}
+
+// Table2a returns the paper's sensor data-frequency table as (sensor,
+// frequency band) rows for the harness.
+func Table2a() []struct {
+	Sensor string
+	LoHz   float64
+	HiHz   float64
+} {
+	return []struct {
+		Sensor string
+		LoHz   float64
+		HiHz   float64
+	}{
+		{"Accelerometer", 100, 200},
+		{"Gyroscope", 100, 200},
+		{"Magnetometer", 10, 10},
+		{"Barometer", 10, 20},
+		{"GPS", 1, 40},
+	}
+}

@@ -1,0 +1,276 @@
+// Package sim is a 6-DOF rigid-body quadcopter simulator: the physical plant
+// under the paper's control stack (§2.1). It supplies the "physical response
+// time and inertia" that — per §2.1.3-D — limits the inner loop to 50-500 Hz
+// regardless of compute, and it produces the whole-drone power signal behind
+// Figure 16b.
+//
+// Conventions: ENU world frame (Z up), body frame X forward / Y left / Z up,
+// attitude quaternion rotates body vectors into the world frame. Motors sit
+// in an X configuration.
+package sim
+
+import (
+	"errors"
+	"math"
+
+	"dronedse/mathx"
+	"dronedse/propulsion"
+	"dronedse/units"
+)
+
+// Motor indices of the X configuration.
+const (
+	FrontLeft = iota
+	FrontRight
+	BackLeft
+	BackRight
+	NumMotors
+)
+
+// State is the drone's measurable state: x = (position, velocity, angular
+// velocity, attitude) exactly as §2.1.3-D defines it.
+type State struct {
+	Pos   mathx.Vec3 // m, world ENU
+	Vel   mathx.Vec3 // m/s, world
+	Omega mathx.Vec3 // rad/s, body frame
+	Att   mathx.Quat // body -> world
+}
+
+// Config sizes a quadcopter plant.
+type Config struct {
+	MassKg      float64
+	WheelbaseMM float64
+	PropInches  float64
+	// TWR is the design thrust-to-weight ratio used to size the rotors.
+	TWR float64
+	// DragCoef is the quadratic body drag coefficient (N per (m/s)^2).
+	DragCoef float64
+	// Eff is the propulsion efficiency chain for power accounting.
+	Eff propulsion.Efficiencies
+}
+
+// DefaultConfig is the paper's open-source 450 mm drone: ~1.07 kg, 10"
+// propellers, TWR 2.
+func DefaultConfig() Config {
+	return Config{
+		MassKg:      1.071,
+		WheelbaseMM: 450,
+		PropInches:  10,
+		TWR:         2,
+		DragCoef:    0.02, // ~23 m/s terminal velocity
+
+		Eff: propulsion.Efficiencies{FigureOfMerit: 0.60, Motor: 0.80, ESC: 0.93},
+	}
+}
+
+// Quad is the stateful plant.
+type Quad struct {
+	cfg     Config
+	rotor   propulsion.Rotor
+	armM    float64 // moment arm of each motor along body x/y
+	inertia mathx.Vec3
+	propD   float64
+
+	state State
+	// thrustN is each rotor's present thrust; rotor spin-up is a
+	// first-order lag toward the commanded thrust.
+	thrustN [NumMotors]float64
+	cmdN    [NumMotors]float64
+
+	env      *Environment
+	onGround bool
+	failed   [NumMotors]bool
+	t        float64
+}
+
+// NewQuad builds the plant from a config.
+func NewQuad(cfg Config) (*Quad, error) {
+	if cfg.MassKg <= 0 || cfg.WheelbaseMM <= 0 || cfg.PropInches <= 0 {
+		return nil, errors.New("sim: non-physical config")
+	}
+	if cfg.TWR < 1.2 {
+		return nil, errors.New("sim: TWR below flying minimum")
+	}
+	maxThrustPerMotor := cfg.TWR * cfg.MassKg * units.Gravity / 4
+	wbM := cfg.WheelbaseMM / 1000
+	q := &Quad{
+		cfg:   cfg,
+		rotor: propulsion.DesignRotor(units.InchToMeter(cfg.PropInches), maxThrustPerMotor),
+		armM:  wbM / 2 * math.Sqrt2 / 2,
+		inertia: mathx.V3(
+			0.05*cfg.MassKg*wbM*wbM,
+			0.05*cfg.MassKg*wbM*wbM,
+			0.09*cfg.MassKg*wbM*wbM),
+		propD:    units.InchToMeter(cfg.PropInches),
+		env:      NewEnvironment(0),
+		onGround: true,
+	}
+	q.state.Att = mathx.QuatIdentity()
+	return q, nil
+}
+
+// SetEnvironment installs a wind/gust model.
+func (q *Quad) SetEnvironment(env *Environment) { q.env = env }
+
+// State returns a copy of the current true state.
+func (q *Quad) State() State { return q.state }
+
+// Time returns simulated seconds since start.
+func (q *Quad) Time() float64 { return q.t }
+
+// OnGround reports whether the drone is resting on the ground.
+func (q *Quad) OnGround() bool { return q.onGround }
+
+// Config returns the plant's configuration.
+func (q *Quad) Config() Config { return q.cfg }
+
+// MaxThrustPerMotorN is the rotor thrust ceiling.
+func (q *Quad) MaxThrustPerMotorN() float64 {
+	return q.cfg.TWR * q.cfg.MassKg * units.Gravity / 4
+}
+
+// HoverThrustPerMotorN is the per-motor thrust that balances weight.
+func (q *Quad) HoverThrustPerMotorN() float64 {
+	return q.cfg.MassKg * units.Gravity / 4
+}
+
+// RotorTimeConstant exposes the physical actuation lag (the §2.1.3-D
+// response-time floor).
+func (q *Quad) RotorTimeConstant() float64 { return q.rotor.TimeConstant }
+
+// FailMotor injects a motor/ESC failure: motor i produces no thrust until
+// repaired. Failure injection exercises the autopilot's crash detection.
+func (q *Quad) FailMotor(i int) {
+	if i >= 0 && i < NumMotors {
+		q.failed[i] = true
+	}
+}
+
+// RepairMotor clears an injected failure.
+func (q *Quad) RepairMotor(i int) {
+	if i >= 0 && i < NumMotors {
+		q.failed[i] = false
+	}
+}
+
+// MotorFailed reports whether motor i is failed.
+func (q *Quad) MotorFailed(i int) bool { return i >= 0 && i < NumMotors && q.failed[i] }
+
+// Teleport places the drone at rest at a position (test/scenario setup):
+// velocities zero, attitude level, rotors pre-spun to hover thrust so a
+// hovering controller takes over smoothly.
+func (q *Quad) Teleport(pos mathx.Vec3) {
+	q.state = State{Pos: pos, Att: mathx.QuatIdentity()}
+	hover := q.HoverThrustPerMotorN()
+	for i := range q.thrustN {
+		q.thrustN[i] = hover
+		q.cmdN[i] = hover
+	}
+	q.onGround = pos.Z <= 0
+}
+
+// CommandThrusts sets the commanded per-motor thrusts in newtons, clamped to
+// [0, max].
+func (q *Quad) CommandThrusts(n [NumMotors]float64) {
+	max := q.MaxThrustPerMotorN()
+	for i, v := range n {
+		q.cmdN[i] = mathx.Clamp(v, 0, max)
+	}
+}
+
+// MotorThrusts returns the present rotor thrusts.
+func (q *Quad) MotorThrusts() [NumMotors]float64 { return q.thrustN }
+
+// ElectricalPowerW returns the present propulsion electrical power draw.
+func (q *Quad) ElectricalPowerW() float64 {
+	p := 0.0
+	for _, tN := range q.thrustN {
+		p += propulsion.ElectricalPower(tN, q.propD, q.cfg.Eff)
+	}
+	return p
+}
+
+// CurrentLoadFraction is the present total thrust over the TWR maximum — the
+// "FlyingLoad" axis of §3.2 (hover ≈ 0.25-0.35, maneuvers 0.6+).
+func (q *Quad) CurrentLoadFraction() float64 {
+	sum := 0.0
+	for _, tN := range q.thrustN {
+		sum += tN
+	}
+	return sum / (4 * q.MaxThrustPerMotorN())
+}
+
+// yaw spin directions: diagonal pairs share a direction.
+var spinSign = [NumMotors]float64{+1, -1, -1, +1}
+
+// motor (x, y) body positions in units of the moment arm.
+var motorX = [NumMotors]float64{+1, +1, -1, -1}
+var motorY = [NumMotors]float64{+1, -1, +1, -1}
+
+// Step advances the simulation by dt seconds (call at >= the inner-loop
+// rate; 1 kHz is the reference).
+func (q *Quad) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	q.t += dt
+
+	// Rotor spin-up lag (first-order in thrust); failed motors spin down.
+	alpha := dt / (q.rotor.TimeConstant + dt)
+	for i := range q.thrustN {
+		cmd := q.cmdN[i]
+		if q.failed[i] {
+			cmd = 0
+		}
+		q.thrustN[i] += alpha * (cmd - q.thrustN[i])
+	}
+
+	// Forces.
+	totalThrust := 0.0
+	for _, tN := range q.thrustN {
+		totalThrust += tN
+	}
+	thrustWorld := q.state.Att.Rotate(mathx.V3(0, 0, totalThrust))
+	gravity := mathx.V3(0, 0, -q.cfg.MassKg*units.Gravity)
+	air := q.env.WindAt(q.t).Sub(q.state.Vel) // air velocity relative to body
+	drag := air.Scale(q.cfg.DragCoef * air.Norm())
+	force := thrustWorld.Add(gravity).Add(drag)
+	accel := force.Scale(1 / q.cfg.MassKg)
+
+	// Torques: r x F per motor plus yaw reaction, plus rotational damping.
+	var tau mathx.Vec3
+	c := q.rotor.KQ / q.rotor.KT // torque per thrust
+	for i, tN := range q.thrustN {
+		tau.X += motorY[i] * q.armM * tN
+		tau.Y += -motorX[i] * q.armM * tN
+		tau.Z += spinSign[i] * c * tN
+	}
+	tau = tau.Sub(q.state.Omega.Scale(0.01 * q.cfg.MassKg)) // aero damping
+	iw := q.state.Omega.Hadamard(q.inertia)
+	domega := mathx.V3(
+		(tau.X-(q.state.Omega.Y*iw.Z-q.state.Omega.Z*iw.Y))/q.inertia.X,
+		(tau.Y-(q.state.Omega.Z*iw.X-q.state.Omega.X*iw.Z))/q.inertia.Y,
+		(tau.Z-(q.state.Omega.X*iw.Y-q.state.Omega.Y*iw.X))/q.inertia.Z,
+	)
+
+	// Integrate (semi-implicit Euler).
+	q.state.Vel = q.state.Vel.Add(accel.Scale(dt))
+	q.state.Pos = q.state.Pos.Add(q.state.Vel.Scale(dt))
+	q.state.Omega = q.state.Omega.Add(domega.Scale(dt))
+	q.state.Att = q.state.Att.Integrate(q.state.Omega, dt)
+
+	// Ground contact.
+	if q.state.Pos.Z <= 0 {
+		q.state.Pos.Z = 0
+		if q.state.Vel.Z < 0 {
+			q.state.Vel = mathx.Vec3{}
+			q.state.Omega = mathx.Vec3{}
+			// settle level, keep yaw
+			_, _, yaw := q.state.Att.Euler()
+			q.state.Att = mathx.QuatFromEuler(0, 0, yaw)
+		}
+		q.onGround = totalThrust < q.cfg.MassKg*units.Gravity
+	} else {
+		q.onGround = false
+	}
+}

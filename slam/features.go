@@ -1,0 +1,233 @@
+// Package slam is a from-scratch visual SLAM system in the mold of the
+// ORB-SLAM2 pipeline the paper offloads in §5: FAST-style corner detection,
+// BRIEF-style binary descriptors, descriptor matching, Gauss-Newton pose
+// tracking, keyframe mapping, and local/global bundle adjustment. Every
+// kernel accounts its arithmetic work in a Stats ledger so the hardware
+// platform models (internal/platform) can retime the same computation on
+// RPi / TX2 / FPGA / ASIC, reproducing Figure 17 and Table 5.
+package slam
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+)
+
+// Image is a grayscale image.
+type Image struct {
+	W, H int
+	Pix  []uint8
+}
+
+// At returns the pixel at (x, y) with border clamping.
+func (im Image) At(x, y int) uint8 {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Keypoint is a detected corner.
+type Keypoint struct {
+	X, Y     float64
+	Response int
+	Desc     Descriptor
+}
+
+// Descriptor is a 256-bit binary descriptor.
+type Descriptor [4]uint64
+
+// HammingDistance counts differing bits between two descriptors.
+func HammingDistance(a, b Descriptor) int {
+	d := 0
+	for i := range a {
+		d += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return d
+}
+
+// fastOffsets is the 16-pixel Bresenham circle of radius 3 used by FAST.
+var fastOffsets = [16][2]int{
+	{0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0}, {3, 1}, {2, 2}, {1, 3},
+	{0, 3}, {-1, 3}, {-2, 2}, {-3, 1}, {-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+}
+
+// briefPattern is the fixed random sampling pattern for the descriptor,
+// generated once with a fixed seed so descriptors are comparable across
+// frames and processes.
+var briefPattern = func() [256][4]int {
+	r := rand.New(rand.NewSource(31415))
+	var p [256][4]int
+	for i := range p {
+		p[i] = [4]int{r.Intn(15) - 7, r.Intn(15) - 7, r.Intn(15) - 7, r.Intn(15) - 7}
+	}
+	return p
+}()
+
+// Detector runs FAST-style corner detection plus BRIEF-style description.
+type Detector struct {
+	// Threshold is the FAST intensity threshold.
+	Threshold int
+	// MaxFeatures caps the keypoints kept per frame (strongest first).
+	MaxFeatures int
+	// Stats receives the work accounting; nil disables accounting.
+	Stats *Stats
+}
+
+// NewDetector returns the default detector (ORB-SLAM keeps ~1000 features
+// per frame on EuRoC; the scaled images here keep fewer).
+func NewDetector(stats *Stats) *Detector {
+	return &Detector{Threshold: 22, MaxFeatures: 400, Stats: stats}
+}
+
+// Detect finds corners and computes their descriptors.
+func (d *Detector) Detect(im Image) []Keypoint {
+	var kps []Keypoint
+	const segLen = 9 // FAST-9: nine contiguous circle pixels
+	for y := 3; y < im.H-3; y++ {
+		for x := 3; x < im.W-3; x++ {
+			c := int(im.Pix[y*im.W+x])
+			// Fast reject: at least one of the 4 compass points must
+			// differ strongly (the standard FAST early-out).
+			hi, lo := 0, 0
+			for _, k := range [4]int{0, 4, 8, 12} {
+				p := int(im.At(x+fastOffsets[k][0], y+fastOffsets[k][1]))
+				if p >= c+d.Threshold {
+					hi++
+				} else if p <= c-d.Threshold {
+					lo++
+				}
+			}
+			if hi < 3 && lo < 3 {
+				continue
+			}
+			// Full segment test.
+			var diffs [32]int
+			for k := 0; k < 16; k++ {
+				p := int(im.At(x+fastOffsets[k][0], y+fastOffsets[k][1]))
+				switch {
+				case p >= c+d.Threshold:
+					diffs[k] = 1
+				case p <= c-d.Threshold:
+					diffs[k] = -1
+				}
+				diffs[16+k] = diffs[k]
+			}
+			run, best, sign := 0, 0, 0
+			resp := 0
+			for k := 0; k < 32; k++ {
+				if diffs[k] != 0 && diffs[k] == sign {
+					run++
+				} else {
+					sign = diffs[k]
+					run = 1
+				}
+				if diffs[k] != 0 && run > best {
+					best = run
+				}
+			}
+			if best < segLen {
+				continue
+			}
+			for k := 0; k < 16; k++ {
+				p := int(im.At(x+fastOffsets[k][0], y+fastOffsets[k][1]))
+				if p-c > resp {
+					resp = p - c
+				} else if c-p > resp {
+					resp = c - p
+				}
+			}
+			kps = append(kps, Keypoint{X: float64(x), Y: float64(y), Response: resp})
+		}
+	}
+	if d.Stats != nil {
+		// ~10 ops per pixel on average: the compass-point early-out
+		// rejects most pixels after a few comparisons.
+		d.Stats.FeatureExtractionOps += uint64(im.W*im.H) * 10
+	}
+
+	// Non-max-ish suppression: keep the strongest within a cell grid.
+	kps = suppress(kps, im.W, im.H, 8)
+	sort.Slice(kps, func(i, j int) bool { return kps[i].Response > kps[j].Response })
+	if len(kps) > d.MaxFeatures {
+		kps = kps[:d.MaxFeatures]
+	}
+	for i := range kps {
+		kps[i].Desc = describe(im, kps[i])
+	}
+	if d.Stats != nil {
+		// 256 pairwise intensity comparisons per descriptor.
+		d.Stats.FeatureExtractionOps += uint64(len(kps)) * 256 * 3
+	}
+	return kps
+}
+
+// suppress keeps only the strongest keypoint per cell x cell block.
+func suppress(kps []Keypoint, w, h, cell int) []Keypoint {
+	type slot struct {
+		idx  int
+		resp int
+	}
+	cw := (w + cell - 1) / cell
+	grid := make(map[int]slot)
+	for i, kp := range kps {
+		key := int(kp.Y)/cell*cw + int(kp.X)/cell
+		if s, ok := grid[key]; !ok || kp.Response > s.resp {
+			grid[key] = slot{idx: i, resp: kp.Response}
+		}
+	}
+	out := make([]Keypoint, 0, len(grid))
+	for _, s := range grid {
+		out = append(out, kps[s.idx])
+	}
+	return out
+}
+
+// describe computes the BRIEF-style descriptor at a keypoint.
+func describe(im Image, kp Keypoint) Descriptor {
+	var d Descriptor
+	x, y := int(kp.X), int(kp.Y)
+	for i, p := range briefPattern {
+		a := im.At(x+p[0], y+p[1])
+		b := im.At(x+p[2], y+p[3])
+		if a > b {
+			d[i/64] |= 1 << (i % 64)
+		}
+	}
+	return d
+}
+
+// Match pairs keypoints in a with map descriptors in b by brute-force
+// Hamming distance with a ratio test. Returns index pairs (ia, ib).
+func Match(a []Keypoint, b []Descriptor, maxDist int, stats *Stats) [][2]int {
+	var out [][2]int
+	for i, ka := range a {
+		best, second, bestJ := 257, 257, -1
+		for j := range b {
+			dist := HammingDistance(ka.Desc, b[j])
+			if dist < best {
+				second = best
+				best, bestJ = dist, j
+			} else if dist < second {
+				second = dist
+			}
+		}
+		if bestJ >= 0 && best <= maxDist && float64(best) < 0.9*float64(second) {
+			out = append(out, [2]int{i, bestJ})
+		}
+	}
+	if stats != nil {
+		// 4 xor+popcount word ops ≈ 16 ops per candidate pair.
+		stats.MatchingOps += uint64(len(a)) * uint64(len(b)) * 16
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package slam
+
+import (
+	"dronedse/mathx"
+)
+
+// Pose-graph optimization: when a loop closure is detected, the drift
+// accumulated along the trajectory is redistributed by optimizing the
+// keyframe positions against two kinds of constraints — the odometry chain
+// (relative positions between consecutive keyframes, trusted locally) and
+// the loop edge (the independently re-registered relative position between
+// the revisiting and the revisited keyframe). ORB-SLAM runs this as its
+// essential-graph optimization before full BA; the translation part
+// decouples per axis into three sparse linear least-squares problems,
+// solved here by Cholesky on the normal equations.
+
+// GraphEdge is one relative-position constraint p[J] - p[I] ≈ Rel.
+type GraphEdge struct {
+	I, J   int
+	Rel    mathx.Vec3
+	Weight float64
+}
+
+// OptimizePoseGraph solves for node positions given edges, holding node
+// `fixed` at its current value (gauge freedom). It returns the corrected
+// positions; the input slice is not modified. Unconstrained nodes keep
+// their input positions.
+func OptimizePoseGraph(positions []mathx.Vec3, edges []GraphEdge, fixed int) []mathx.Vec3 {
+	n := len(positions)
+	out := append([]mathx.Vec3(nil), positions...)
+	if n == 0 || fixed < 0 || fixed >= n || len(edges) == 0 {
+		return out
+	}
+	// Three decoupled scalar problems (x, y, z). Build the weighted
+	// Laplacian once; right-hand sides differ per axis.
+	h := mathx.NewDense(n, n)
+	bx := make([]float64, n)
+	by := make([]float64, n)
+	bz := make([]float64, n)
+	for _, e := range edges {
+		if e.I < 0 || e.I >= n || e.J < 0 || e.J >= n || e.I == e.J {
+			continue
+		}
+		w := e.Weight
+		if w <= 0 {
+			w = 1
+		}
+		// residual r = p[J] - p[I] - rel; d r/d p[J] = +1, d/d p[I] = -1.
+		h.Addf(e.I, e.I, w)
+		h.Addf(e.J, e.J, w)
+		h.Addf(e.I, e.J, -w)
+		h.Addf(e.J, e.I, -w)
+		bx[e.I] -= w * e.Rel.X
+		bx[e.J] += w * e.Rel.X
+		by[e.I] -= w * e.Rel.Y
+		by[e.J] += w * e.Rel.Y
+		bz[e.I] -= w * e.Rel.Z
+		bz[e.J] += w * e.Rel.Z
+	}
+	// Gauge fix: pin the fixed node with a stiff prior at its current
+	// position, and a feather-weight prior everywhere else so isolated
+	// nodes stay put and H is SPD.
+	const stiff = 1e6
+	const feather = 1e-9
+	for i := 0; i < n; i++ {
+		w := feather
+		if i == fixed {
+			w = stiff
+		}
+		h.Addf(i, i, w)
+		bx[i] += w * positions[i].X
+		by[i] += w * positions[i].Y
+		bz[i] += w * positions[i].Z
+	}
+	xs, okX := h.SolveCholesky(bx)
+	ys, okY := h.SolveCholesky(by)
+	zs, okZ := h.SolveCholesky(bz)
+	if !okX || !okY || !okZ {
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out[i] = mathx.V3(xs[i], ys[i], zs[i])
+	}
+	return out
+}
+
+// loopEdge re-registers the newest keyframe against the map points the
+// revisited keyframe observes (the shared landmarks the fusion step
+// re-associated), producing the independent relative-position measurement
+// the pose graph needs. ok is false with too few shared observations.
+func (s *System) loopEdge(old, cur *KeyFrame) (rel mathx.Vec3, ok bool) {
+	oldSees := make(map[int]bool, len(old.Obs))
+	for _, ob := range old.Obs {
+		oldSees[ob.PointID] = true
+	}
+	var pts []mathx.Vec3
+	var us, vs []float64
+	for _, ob := range cur.Obs {
+		if !oldSees[ob.PointID] {
+			continue
+		}
+		mp, exists := s.points[ob.PointID]
+		if !exists {
+			continue
+		}
+		pts = append(pts, mp.Pos)
+		us = append(us, ob.U)
+		vs = append(vs, ob.V)
+	}
+	if len(pts) < 12 {
+		return mathx.Vec3{}, false
+	}
+	reg := OptimizePose(s.Cam, cur.Pose, pts, us, vs, 6, &s.Stats)
+	return reg.Pos.Sub(old.Pose.Pos), true
+}
+
+// closeLoop runs pose-graph optimization over the keyframe positions using
+// the odometry chain plus the detected loop edge, then shifts each
+// keyframe's pose (and the current tracking pose) by its correction. Map
+// points are subsequently pulled into agreement by the global BA that
+// always follows a closure. Work is accounted to GlobalBAOps.
+func (s *System) closeLoop(oldIdx int) {
+	n := len(s.keyframes)
+	cur := s.keyframes[n-1]
+	old := s.keyframes[oldIdx]
+	rel, ok := s.loopEdge(old, cur)
+	if !ok {
+		return
+	}
+	positions := make([]mathx.Vec3, n)
+	for i, kf := range s.keyframes {
+		positions[i] = kf.Pose.Pos
+	}
+	edges := make([]GraphEdge, 0, n)
+	for i := 1; i < n; i++ {
+		edges = append(edges, GraphEdge{
+			I: i - 1, J: i,
+			Rel:    positions[i].Sub(positions[i-1]),
+			Weight: 1,
+		})
+	}
+	// The loop edge gets the weight of the whole chain it corrects.
+	edges = append(edges, GraphEdge{I: oldIdx, J: n - 1, Rel: rel, Weight: float64(n)})
+	corrected := OptimizePoseGraph(positions, edges, 0)
+	for i, kf := range s.keyframes {
+		kf.Pose.Pos = corrected[i]
+	}
+	s.pose.Pos = s.pose.Pos.Add(corrected[n-1].Sub(positions[n-1]))
+	// ~30 ops per edge per axis solve, plus the n^3/3 Cholesky.
+	s.Stats.GlobalBAOps += uint64(len(edges))*90 + uint64(n*n*n)
+}

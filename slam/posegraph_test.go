@@ -1,0 +1,124 @@
+package slam
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dronedse/mathx"
+)
+
+func TestPoseGraphNoopWhenConsistent(t *testing.T) {
+	// A chain whose edges agree exactly with the positions must not move.
+	positions := []mathx.Vec3{{}, {X: 1}, {X: 2}, {X: 3}}
+	var edges []GraphEdge
+	for i := 1; i < len(positions); i++ {
+		edges = append(edges, GraphEdge{I: i - 1, J: i, Rel: mathx.V3(1, 0, 0), Weight: 1})
+	}
+	out := OptimizePoseGraph(positions, edges, 0)
+	for i := range out {
+		if out[i].Sub(positions[i]).Norm() > 1e-6 {
+			t.Fatalf("consistent graph moved node %d: %v -> %v", i, positions[i], out[i])
+		}
+	}
+}
+
+func TestPoseGraphCorrectsDrift(t *testing.T) {
+	// Ground truth: a square loop back to the origin. The odometry edges
+	// carry a systematic +x drift so the estimated chain ends 1 m away;
+	// a strong loop edge says "end = start". The optimizer must spread
+	// the drift along the chain, pulling the end node home.
+	const n = 21
+	truth := make([]mathx.Vec3, n)
+	for i := range truth {
+		phi := 2 * math.Pi * float64(i) / float64(n-1)
+		truth[i] = mathx.V3(4*math.Sin(phi), 4*(math.Cos(phi)-1), 0)
+	}
+	drift := mathx.V3(1.0/float64(n-1), 0, 0)
+	est := make([]mathx.Vec3, n)
+	est[0] = truth[0]
+	var edges []GraphEdge
+	for i := 1; i < n; i++ {
+		rel := truth[i].Sub(truth[i-1]).Add(drift) // drifting odometry
+		est[i] = est[i-1].Add(rel)
+		edges = append(edges, GraphEdge{I: i - 1, J: i, Rel: rel, Weight: 1})
+	}
+	endErrBefore := est[n-1].Sub(truth[n-1]).Norm()
+	if endErrBefore < 0.9 {
+		t.Fatalf("setup: drift too small (%v)", endErrBefore)
+	}
+	// Loop edge: re-registration says the end coincides with the start.
+	edges = append(edges, GraphEdge{I: 0, J: n - 1, Rel: mathx.Vec3{}, Weight: float64(n)})
+	out := OptimizePoseGraph(est, edges, 0)
+	endErrAfter := out[n-1].Sub(truth[n-1]).Norm()
+	if endErrAfter > 0.15 {
+		t.Errorf("loop closure left %v m of end error (was %v)", endErrAfter, endErrBefore)
+	}
+	// Mid-chain nodes improve too (drift spread, not dumped on the end).
+	mid := n / 2
+	before := est[mid].Sub(truth[mid]).Norm()
+	after := out[mid].Sub(truth[mid]).Norm()
+	if after > before {
+		t.Errorf("mid-chain error grew: %v -> %v", before, after)
+	}
+	// The fixed node stays fixed.
+	if out[0].Sub(est[0]).Norm() > 1e-3 {
+		t.Errorf("gauge node moved by %v", out[0].Sub(est[0]).Norm())
+	}
+}
+
+func TestPoseGraphDegenerateInputs(t *testing.T) {
+	if out := OptimizePoseGraph(nil, nil, 0); len(out) != 0 {
+		t.Error("empty graph produced output")
+	}
+	pos := []mathx.Vec3{{X: 1}, {X: 2}}
+	if out := OptimizePoseGraph(pos, nil, 0); out[1] != pos[1] {
+		t.Error("edgeless graph moved nodes")
+	}
+	// Bad fixed index: input returned unchanged.
+	edges := []GraphEdge{{I: 0, J: 1, Rel: mathx.V3(1, 0, 0)}}
+	if out := OptimizePoseGraph(pos, edges, 99); out[0] != pos[0] {
+		t.Error("bad gauge index mutated nodes")
+	}
+	// Out-of-range and self edges are skipped, not fatal.
+	weird := []GraphEdge{{I: -1, J: 5, Rel: mathx.V3(1, 0, 0)}, {I: 1, J: 1}}
+	OptimizePoseGraph(pos, weird, 0)
+}
+
+func TestPoseGraphIsolatedNodesStayPut(t *testing.T) {
+	pos := []mathx.Vec3{{}, {X: 1}, {X: 50, Y: 9, Z: -2}} // node 2 unconstrained
+	edges := []GraphEdge{{I: 0, J: 1, Rel: mathx.V3(1, 0, 0), Weight: 1}}
+	out := OptimizePoseGraph(pos, edges, 0)
+	if out[2].Sub(pos[2]).Norm() > 1e-3 {
+		t.Errorf("isolated node drifted: %v", out[2])
+	}
+}
+
+func TestPoseGraphRandomConsistency(t *testing.T) {
+	// Property: consistent random chains (edges = exact differences)
+	// never move, whatever the geometry.
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(30)
+		pos := make([]mathx.Vec3, n)
+		for i := range pos {
+			pos[i] = mathx.V3(r.NormFloat64()*5, r.NormFloat64()*5, r.NormFloat64())
+		}
+		var edges []GraphEdge
+		for i := 1; i < n; i++ {
+			edges = append(edges, GraphEdge{I: i - 1, J: i, Rel: pos[i].Sub(pos[i-1]), Weight: 0.5 + r.Float64()})
+		}
+		// A consistent extra chord.
+		a, b := r.Intn(n), r.Intn(n)
+		if a != b {
+			edges = append(edges, GraphEdge{I: a, J: b, Rel: pos[b].Sub(pos[a]), Weight: 2})
+		}
+		out := OptimizePoseGraph(pos, edges, 0)
+		for i := range out {
+			if out[i].Sub(pos[i]).Norm() > 1e-5 {
+				t.Fatalf("trial %d: consistent graph moved node %d by %v",
+					trial, i, out[i].Sub(pos[i]).Norm())
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func feedConstant(r *Recorder, from, to, powerW, stepS float64) {
+	for t := from; t < to; t += stepS {
+		r.Observe(t, powerW)
+	}
+}
+
+func TestRecorderSamplingRate(t *testing.T) {
+	r := NewUSBMeter(1)
+	feedConstant(r, 0, 10, 3.39, 0.001)
+	n := len(r.Samples())
+	if n < 19 || n > 21 {
+		t.Errorf("USB meter took %d samples in 10 s, want ~20 at 0.5 s period", n)
+	}
+	o := NewOscilloscope(2)
+	feedConstant(o, 0, 1, 130, 0.001)
+	if n := len(o.Samples()); n < 48 || n > 52 {
+		t.Errorf("oscilloscope took %d samples in 1 s, want ~50 at 20 ms period", n)
+	}
+}
+
+func TestRecorderNoiseLevel(t *testing.T) {
+	r := NewUSBMeter(3)
+	feedConstant(r, 0, 600, 4.0, 0.01)
+	mean := r.MeanPower(0, 600)
+	if math.Abs(mean-4.0) > 0.005 {
+		t.Errorf("mean power = %v, want ~4.0", mean)
+	}
+	// Spread should reflect the ±10 mW instrument error.
+	var sq float64
+	for _, s := range r.Samples() {
+		d := s.PowerW - 4.0
+		sq += d * d
+	}
+	std := math.Sqrt(sq / float64(len(r.Samples())))
+	if std < 0.005 || std > 0.02 {
+		t.Errorf("noise std = %v, configured 0.010", std)
+	}
+}
+
+func TestMeanAndPeakWindows(t *testing.T) {
+	r := NewOscilloscope(4)
+	feedConstant(r, 0, 5, 100, 0.005)
+	feedConstant(r, 5, 10, 250, 0.005)
+	if m := r.MeanPower(0, 5); math.Abs(m-100) > 1 {
+		t.Errorf("first-window mean = %v", m)
+	}
+	if m := r.MeanPower(5, 10); math.Abs(m-250) > 1 {
+		t.Errorf("second-window mean = %v", m)
+	}
+	if p := r.PeakPower(0, 10); math.Abs(p-250) > 1 {
+		t.Errorf("peak = %v", p)
+	}
+	if r.MeanPower(50, 60) != 0 || r.PeakPower(50, 60) != 0 {
+		t.Error("empty window should read 0")
+	}
+}
+
+func TestEnergyIntegration(t *testing.T) {
+	r := NewOscilloscope(5)
+	feedConstant(r, 0, 3600, 130, 0.02) // one hour at 130 W
+	if wh := r.EnergyWh(); math.Abs(wh-130) > 1.5 {
+		t.Errorf("energy = %v Wh, want ~130", wh)
+	}
+	empty := NewOscilloscope(6)
+	if empty.EnergyWh() != 0 {
+		t.Error("empty recording has nonzero energy")
+	}
+}
+
+func TestPhaseMeans(t *testing.T) {
+	r := NewUSBMeter(7)
+	feedConstant(r, 0, 100, 3.39, 0.01)
+	feedConstant(r, 100, 200, 4.05, 0.01)
+	feedConstant(r, 200, 300, 4.56, 0.01)
+	means := PhaseMeans(r, []Phase{
+		{"autopilot", 0, 100},
+		{"slam-idle", 100, 200},
+		{"slam-flying", 200, 300},
+	})
+	if math.Abs(means["autopilot"]-3.39) > 0.01 ||
+		math.Abs(means["slam-idle"]-4.05) > 0.01 ||
+		math.Abs(means["slam-flying"]-4.56) > 0.01 {
+		t.Errorf("phase means = %v", means)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewUSBMeter(8)
+	feedConstant(r, 0, 5, 1, 0.01)
+	r.Reset()
+	if len(r.Samples()) != 0 {
+		t.Error("Reset left samples")
+	}
+	feedConstant(r, 100, 105, 1, 0.01)
+	if len(r.Samples()) == 0 {
+		t.Error("recorder dead after Reset")
+	}
+}
