@@ -1,0 +1,34 @@
+# Build/CI entry points. `make ci` is the gate every PR must pass: vet,
+# build, the full test suite under the race detector (mandatory now that the
+# parallelx worker pools and the Resolve memoization cache share state
+# across goroutines), and a short benchmark smoke run.
+
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke bench-json ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick benchmark smoke: exercises the pool-variant benchmarks without the
+# slow full-suite runs (SLAM/figure regeneration benchmarks stay opt-in).
+bench-smoke:
+	$(GO) test ./core/ -run '^$$' -bench 'BenchmarkResolve|BenchmarkSweepCapacity|BenchmarkBestConfig' -benchtime 10x
+	$(GO) test ./parallelx/ -run '^$$' -bench . -benchtime 10x 2>/dev/null || true
+
+# Perf trajectory artifact: BENCH_core.json (ns/op, allocs/op per pool size).
+bench-json:
+	$(GO) run ./cmd/benchjson -o BENCH_core.json
+
+ci: vet build race bench-smoke

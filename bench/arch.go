@@ -7,6 +7,7 @@ import (
 	"dronedse/dataset"
 	"dronedse/mathx"
 	"dronedse/microarch"
+	"dronedse/parallelx"
 	"dronedse/platform"
 	"dronedse/slam"
 )
@@ -71,6 +72,8 @@ type Figure17 struct {
 
 // RunFigure17 runs SLAM over the synthetic EuRoC suite and retimes it on
 // the platform models. seqLimit>0 truncates the suite (for -short runs).
+// Sequences are independent, so they fan out across the parallelx pool; the
+// results are assembled in suite order, byte-identical to the serial run.
 func RunFigure17(seqLimit int) (Figure17, error) {
 	specs := dataset.EuRoCSpecs()
 	if seqLimit > 0 && seqLimit < len(specs) {
@@ -78,18 +81,38 @@ func RunFigure17(seqLimit int) (Figure17, error) {
 	}
 	var out Figure17
 	base := platform.RPi()
-	var tx2s, fpgas []float64
-	for _, spec := range specs {
+	type seqOut struct {
+		res     slam.Result
+		tx2Bar  platform.SpeedupBreakdown
+		fpgaBar platform.SpeedupBreakdown
+		tx2     float64
+		fpga    float64
+		err     error
+	}
+	runs := parallelx.Map(specs, func(spec dataset.Spec) seqOut {
 		seq, err := dataset.Generate(spec)
 		if err != nil {
-			return out, err
+			return seqOut{err: err}
 		}
 		res := slam.RunSequence(seq)
-		out.Results = append(out.Results, res)
-		out.TX2Bars = append(out.TX2Bars, platform.Breakdown(base, platform.TX2(), res.Name, res.Stats))
-		out.FPGABars = append(out.FPGABars, platform.Breakdown(base, platform.FPGA(), res.Name, res.Stats))
-		tx2s = append(tx2s, platform.Speedup(base, platform.TX2(), res.Stats))
-		fpgas = append(fpgas, platform.Speedup(base, platform.FPGA(), res.Stats))
+		return seqOut{
+			res:     res,
+			tx2Bar:  platform.Breakdown(base, platform.TX2(), res.Name, res.Stats),
+			fpgaBar: platform.Breakdown(base, platform.FPGA(), res.Name, res.Stats),
+			tx2:     platform.Speedup(base, platform.TX2(), res.Stats),
+			fpga:    platform.Speedup(base, platform.FPGA(), res.Stats),
+		}
+	})
+	var tx2s, fpgas []float64
+	for _, r := range runs {
+		if r.err != nil {
+			return out, r.err
+		}
+		out.Results = append(out.Results, r.res)
+		out.TX2Bars = append(out.TX2Bars, r.tx2Bar)
+		out.FPGABars = append(out.FPGABars, r.fpgaBar)
+		tx2s = append(tx2s, r.tx2)
+		fpgas = append(fpgas, r.fpga)
 	}
 	out.GMeanTX2 = mathx.GeoMean(tx2s)
 	out.GMeanFPGA = mathx.GeoMean(fpgas)

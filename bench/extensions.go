@@ -11,6 +11,7 @@ import (
 	"dronedse/mathx"
 	"dronedse/microarch"
 	"dronedse/offload"
+	"dronedse/parallelx"
 	"dronedse/platform"
 	"dronedse/sim"
 	"dronedse/slam"
@@ -186,15 +187,28 @@ func RunESLAMStudy(seqLimit int) (ESLAMStudy, error) {
 		specs = specs[:seqLimit]
 	}
 	base := platform.RPi()
-	var with, without []float64
-	for _, spec := range specs {
+	type pair struct {
+		with, without float64
+		err           error
+	}
+	runs := parallelx.Map(specs, func(spec dataset.Spec) pair {
 		seq, err := dataset.Generate(spec)
 		if err != nil {
-			return ESLAMStudy{}, err
+			return pair{err: err}
 		}
 		st := slam.RunSequence(seq).Stats
-		with = append(with, platform.Speedup(base, platform.FPGA(), st))
-		without = append(without, platform.Speedup(base, platform.FPGANoESLAM(), st))
+		return pair{
+			with:    platform.Speedup(base, platform.FPGA(), st),
+			without: platform.Speedup(base, platform.FPGANoESLAM(), st),
+		}
+	})
+	var with, without []float64
+	for _, r := range runs {
+		if r.err != nil {
+			return ESLAMStudy{}, r.err
+		}
+		with = append(with, r.with)
+		without = append(without, r.without)
 	}
 	return ESLAMStudy{WithGMean: mathx.GeoMean(with), WithoutGMean: mathx.GeoMean(without)}, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"dronedse/components"
 	"dronedse/core"
+	"dronedse/parallelx"
 )
 
 // Figure10 regenerates the computation-footprint sweeps for the three
@@ -47,15 +48,23 @@ func RunFigure10(wheelbaseMM float64, p core.Params) Figure10 {
 		}
 	}
 	// Panels a-c use the 1S/3S/6S battery configurations like the legend.
-	for _, cells := range []int{1, 3, 6} {
-		out.Sweeps[cells] = core.SweepCapacity(mk(cells, components.BasicComputeTier), p, 1000, 8000, 250)
-	}
-	out.Shares20W = core.SweepCapacity(mk(3, components.AdvancedComputeTier), p, 1000, 8000, 250)
-	out.Shares3W = core.SweepCapacity(mk(3, components.BasicComputeTier), p, 1000, 8000, 250)
-	if best, ok := core.BestConfig(mk(3, components.BasicComputeTier), p, []int{1, 2, 3, 4, 5, 6}, 1000, 8000, 250); ok {
-		out.Best = best
-		out.BestFlight = best.HoverFlightTimeMin()
-	}
+	// The six independent series (three panel sweeps, two share series,
+	// the best-config search) run concurrently; each writes its own field.
+	var sweep1, sweep3, sweep6 []core.SweepPoint
+	parallelx.Do(
+		func() { sweep1 = core.SweepCapacity(mk(1, components.BasicComputeTier), p, 1000, 8000, 250) },
+		func() { sweep3 = core.SweepCapacity(mk(3, components.BasicComputeTier), p, 1000, 8000, 250) },
+		func() { sweep6 = core.SweepCapacity(mk(6, components.BasicComputeTier), p, 1000, 8000, 250) },
+		func() { out.Shares20W = core.SweepCapacity(mk(3, components.AdvancedComputeTier), p, 1000, 8000, 250) },
+		func() { out.Shares3W = core.SweepCapacity(mk(3, components.BasicComputeTier), p, 1000, 8000, 250) },
+		func() {
+			if best, ok := core.BestConfig(mk(3, components.BasicComputeTier), p, []int{1, 2, 3, 4, 5, 6}, 1000, 8000, 250); ok {
+				out.Best = best
+				out.BestFlight = best.HoverFlightTimeMin()
+			}
+		},
+	)
+	out.Sweeps[1], out.Sweeps[3], out.Sweeps[6] = sweep1, sweep3, sweep6
 	for _, cd := range components.CommercialDrones() {
 		if cd.WheelbaseClassMM == wheelbaseMM {
 			out.Validation = append(out.Validation, cd)

@@ -5,6 +5,7 @@ import (
 
 	"dronedse/components"
 	"dronedse/core"
+	"dronedse/parallelx"
 )
 
 // Figure7 regenerates the battery survey and its per-configuration fits.
@@ -127,17 +128,40 @@ func Figure9Weights() map[float64][]float64 {
 	}
 }
 
-// RunFigure9 sweeps every wheelbase/cell-count line.
+// RunFigure9 sweeps every wheelbase/cell-count line. The (wheelbase, cells)
+// grid fans out across the parallelx pool; the maps are assembled serially
+// from the ordered results.
 func RunFigure9(p core.Params) Figure9 {
 	out := Figure9{
 		Lines:          map[float64]map[int][]core.MotorCurrentPoint{},
 		MinBasicWeight: map[float64]float64{},
 	}
-	for wb, weights := range Figure9Weights() {
-		out.Lines[wb] = map[int][]core.MotorCurrentPoint{}
+	weightsByWB := Figure9Weights()
+	type job struct {
+		wb    float64
+		cells int
+	}
+	var jobs []job
+	var wbs []float64
+	for wb := range weightsByWB {
+		wbs = append(wbs, wb)
+	}
+	sortFloats(wbs)
+	for _, wb := range wbs {
 		for cells := 1; cells <= 6; cells++ {
-			out.Lines[wb][cells] = core.MotorCurrentVsBasicWeight(wb, cells, 2, p, weights)
+			jobs = append(jobs, job{wb, cells})
 		}
+	}
+	lines := parallelx.Map(jobs, func(j job) []core.MotorCurrentPoint {
+		return core.MotorCurrentVsBasicWeight(j.wb, j.cells, 2, p, weightsByWB[j.wb])
+	})
+	for i, j := range jobs {
+		if out.Lines[j.wb] == nil {
+			out.Lines[j.wb] = map[int][]core.MotorCurrentPoint{}
+		}
+		out.Lines[j.wb][j.cells] = lines[i]
+	}
+	for _, wb := range wbs {
 		out.MinBasicWeight[wb] = core.MinFeasibleBasicWeightG(wb, p)
 	}
 	return out

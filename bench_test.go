@@ -12,12 +12,15 @@ package dronedse
 // regeneration and surface the reproduced numbers.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"dronedse/bench"
 	"dronedse/components"
 	"dronedse/core"
 	"dronedse/dataset"
+	"dronedse/parallelx"
 	"dronedse/slam"
 )
 
@@ -307,4 +310,25 @@ func BenchmarkFigure12Procedure(b *testing.B) {
 	}
 	b.ReportMetric(rec.FlightMin, "flight-min")
 	b.ReportMetric(rec.ComputeSharePct, "compute-share-pct")
+}
+
+// BenchmarkSLAMSuite times the full 11-sequence Figure 17 run at the pool
+// sizes the perf trajectory tracks (1, 2, NumCPU) — the slambench command's
+// hot path.
+func BenchmarkSLAMSuite(b *testing.B) {
+	pools := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		pools = append(pools, n)
+	}
+	for _, pool := range pools {
+		b.Run(fmt.Sprintf("pool=%d", pool), func(b *testing.B) {
+			prev := parallelx.SetPoolSize(pool)
+			defer parallelx.SetPoolSize(prev)
+			for i := 0; i < b.N; i++ {
+				if _, err := bench.RunFigure17(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

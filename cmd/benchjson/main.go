@@ -1,0 +1,171 @@
+// Command benchjson measures the design-space engine's hot paths with the
+// standard testing.Benchmark driver and writes the results as JSON
+// (BENCH_core.json by default), so successive PRs can track the perf
+// trajectory mechanically: each entry records ns/op, allocs/op, and the
+// pool size it ran at.
+//
+// Usage:
+//
+//	benchjson                 # quick suite -> BENCH_core.json
+//	benchjson -o - -seqs 2    # print to stdout, truncated SLAM suite
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"dronedse/bench"
+	"dronedse/core"
+	"dronedse/parallelx"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Pool        int     `json:"pool"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// Report is the BENCH_core.json schema.
+type Report struct {
+	GoMaxProcs int      `json:"go_max_procs"`
+	NumCPU     int      `json:"num_cpu"`
+	GoVersion  string   `json:"go_version"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_core.json", "output file (- for stdout)")
+	seqs := flag.Int("seqs", 2, "SLAM sequences for the suite benchmark (0 = all 11, slow)")
+	flag.Parse()
+
+	pools := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		pools = append(pools, n)
+	}
+
+	spec := core.DefaultSpec()
+	p := core.DefaultParams()
+	cells := []int{1, 2, 3, 4, 5, 6}
+
+	rep := Report{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+	}
+
+	// measure runs fn under testing.Benchmark at each pool size.
+	measure := func(name string, poolSizes []int, fn func(b *testing.B)) {
+		for _, pool := range poolSizes {
+			prev := parallelx.SetPoolSize(pool)
+			r := testing.Benchmark(fn)
+			parallelx.SetPoolSize(prev)
+			rep.Results = append(rep.Results, Result{
+				Name:        name,
+				Pool:        pool,
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				N:           r.N,
+			})
+			fmt.Fprintf(os.Stderr, "%-28s pool=%-2d %12.0f ns/op  (n=%d)\n",
+				name, pool, float64(r.T.Nanoseconds())/float64(r.N), r.N)
+		}
+	}
+	serial := []int{1}
+
+	measure("resolve_uncached", serial, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Resolve(spec, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("resolve_cached_warm", serial, func(b *testing.B) {
+		core.ResetResolveCache()
+		core.ResolveCached(spec, p)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ResolveCached(spec, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	measure("sweep_capacity_cold", pools, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ResetResolveCache()
+			if pts := core.SweepCapacity(spec, p, 1000, 8000, 100); len(pts) == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	})
+	measure("best_config_cold", pools, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ResetResolveCache()
+			if _, ok := core.BestConfig(spec, p, cells, 1000, 8000, 250); !ok {
+				b.Fatal("no feasible config")
+			}
+		}
+	})
+	measure("best_config_warm", serial, func(b *testing.B) {
+		core.ResetResolveCache()
+		core.BestConfig(spec, p, cells, 1000, 8000, 250)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := core.BestConfig(spec, p, cells, 1000, 8000, 250); !ok {
+				b.Fatal("no feasible config")
+			}
+		}
+	})
+	measure("pareto_payload_cold", pools, func(b *testing.B) {
+		payloads := []float64{0, 100, 200, 300, 500, 750, 1000}
+		for i := 0; i < b.N; i++ {
+			core.ResetResolveCache()
+			if pts := core.ParetoPayloadFrontier(spec, p, payloads); len(pts) == 0 {
+				b.Fatal("empty frontier")
+			}
+		}
+	})
+	measure("figure10_450mm", pools, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.ResetResolveCache()
+			bench.RunFigure10(450, p)
+		}
+	})
+	seqName := fmt.Sprintf("slam_suite_%dseq", *seqs)
+	if *seqs == 0 {
+		seqName = "slam_suite_full"
+	}
+	measure(seqName, pools, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bench.RunFigure17(*seqs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}

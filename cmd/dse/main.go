@@ -15,9 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"dronedse/components"
 	"dronedse/core"
+	"dronedse/parallelx"
 )
 
 func main() {
@@ -34,7 +36,9 @@ func main() {
 	sweep := flag.Bool("sweep", false, "print the 1000-8000 mAh battery sweep")
 	pareto := flag.Bool("pareto", false, "print the payload vs flight-time Pareto frontier")
 	require := flag.Float64("require", 0, "run the Figure 12 procedure: find the smallest frame meeting this flight time (min)")
+	procs := flag.Int("procs", runtime.NumCPU(), "worker pool size for sweeps and searches (1 = serial)")
 	flag.Parse()
+	parallelx.SetPoolSize(*procs)
 
 	spec := core.Spec{
 		WheelbaseMM: *wheelbase,

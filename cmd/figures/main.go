@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"dronedse/bench"
 	"dronedse/components"
 	"dronedse/core"
+	"dronedse/parallelx"
 )
 
 func main() {
@@ -29,7 +31,9 @@ func main() {
 	seed := flag.Int64("seed", components.DefaultSeed, "catalog/workload seed")
 	seqs := flag.Int("seqs", 0, "limit the SLAM suite to the first N sequences (0 = all 11)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory (the artifact's raw-data export)")
+	procs := flag.Int("procs", runtime.NumCPU(), "worker pool size for sweeps and SLAM sequences (1 = serial)")
 	flag.Parse()
+	parallelx.SetPoolSize(*procs)
 
 	if err := run(*fig, *seed, *seqs, *csvDir); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)

@@ -1,27 +1,34 @@
 // Command slambench runs the from-scratch ORB-SLAM-style pipeline over the
 // synthetic EuRoC suite and retimes the measured work ledger on each
 // hardware platform model — Figure 17 and the speedup half of Table 5.
+// Sequences are independent and fan out across a worker pool; rows print in
+// suite order, so the output is identical at any -procs value.
 //
 // Usage:
 //
-//	slambench            # all 11 sequences
+//	slambench            # all 11 sequences, one worker per CPU
 //	slambench -seqs 3    # quick run
+//	slambench -procs 1   # serial baseline
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"dronedse/dataset"
 	"dronedse/mathx"
+	"dronedse/parallelx"
 	"dronedse/platform"
 	"dronedse/slam"
 )
 
 func main() {
 	seqs := flag.Int("seqs", 0, "limit to first N sequences (0 = all)")
+	procs := flag.Int("procs", runtime.NumCPU(), "worker pool size (1 = serial)")
 	flag.Parse()
+	parallelx.SetPoolSize(*procs)
 
 	specs := dataset.EuRoCSpecs()
 	if *seqs > 0 && *seqs < len(specs) {
@@ -30,23 +37,39 @@ func main() {
 
 	base := platform.RPi()
 	targets := []platform.Platform{platform.SeparateRPi(), platform.TX2(), platform.FPGA(), platform.ASIC()}
-	speedups := map[string][]float64{}
 
-	fmt.Println("seq    ATE(m)  kfs  RPi ms/frame  sepRPi    TX2     FPGA    ASIC")
-	for _, spec := range specs {
+	type row struct {
+		res      slam.Result
+		msPerFrm float64
+		speedups []float64
+		err      error
+	}
+	rows := parallelx.Map(specs, func(spec dataset.Spec) row {
 		seq, err := dataset.Generate(spec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "slambench:", err)
-			os.Exit(1)
+			return row{err: err}
 		}
 		res := slam.RunSequence(seq)
 		rpiT, _, _, _ := base.SeqTime(res.Stats)
-		fmt.Printf("%-5s  %.3f   %3d  %10.1f  ", res.Name, res.ATE, res.Stats.Keyframes,
-			rpiT/float64(res.Frames)*1000)
+		r := row{res: res, msPerFrm: rpiT / float64(res.Frames) * 1000}
 		for _, pl := range targets {
-			sp := platform.Speedup(base, pl, res.Stats)
-			speedups[pl.Name] = append(speedups[pl.Name], sp)
-			fmt.Printf("%6.2fx ", sp)
+			r.speedups = append(r.speedups, platform.Speedup(base, pl, res.Stats))
+		}
+		return r
+	})
+
+	speedups := map[string][]float64{}
+	fmt.Println("seq    ATE(m)  kfs  RPi ms/frame  sepRPi    TX2     FPGA    ASIC")
+	for _, r := range rows {
+		if r.err != nil {
+			fmt.Fprintln(os.Stderr, "slambench:", r.err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-5s  %.3f   %3d  %10.1f  ", r.res.Name, r.res.ATE, r.res.Stats.Keyframes,
+			r.msPerFrm)
+		for i, pl := range targets {
+			speedups[pl.Name] = append(speedups[pl.Name], r.speedups[i])
+			fmt.Printf("%6.2fx ", r.speedups[i])
 		}
 		fmt.Println()
 	}

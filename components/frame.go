@@ -100,6 +100,9 @@ func FitFrameCatalog(frames []Frame) fit.Piecewise2 {
 // 200 mm-5", 450 mm-10", 800 mm-20"); intermediate wheelbases interpolate
 // on the same geometric proportionality.
 func MaxPropellerInches(wheelbaseMM float64) float64 {
-	anchors := []fit.Point{{X: 50, Y: 1}, {X: 100, Y: 2}, {X: 200, Y: 5}, {X: 450, Y: 10}, {X: 800, Y: 20}, {X: 1000, Y: 24}}
-	return fit.Interp1(anchors, wheelbaseMM)
+	return fit.Interp1Sorted(propellerAnchors, wheelbaseMM)
 }
+
+// propellerAnchors is the wheelbase→propeller pairing table, sorted by X so
+// the per-Resolve lookup allocates nothing.
+var propellerAnchors = []fit.Point{{X: 50, Y: 1}, {X: 100, Y: 2}, {X: 200, Y: 5}, {X: 450, Y: 10}, {X: 800, Y: 20}, {X: 1000, Y: 24}}

@@ -140,6 +140,60 @@ var (
 	ErrNoConverge   = errors.New("core: weight closure did not converge (design infeasible)")
 )
 
+// weightClosure is the result of one Equation 1 damped fixed-point run.
+type weightClosure struct {
+	TotalG     float64
+	MotorUnitG float64
+	ESC4xG     float64
+	WiringG    float64
+	RequiredA  float64
+	Iterations int
+	Converged  bool
+}
+
+// closeWeightLoop iterates Equation 1's damped fixed point: on top of the
+// fixed weight it adds four motors sized for the per-motor thrust, ESCs
+// sized for the required current, and (when includeWiring) the wiring mass
+// fraction. It is the single implementation behind Resolve and the Figure 9
+// basic-weight closure. On divergence (weight runaway, NaN, or 200
+// iterations without settling) Converged is false.
+func closeWeightLoop(fixedG, initialG, twr, propD, packV float64, p Params,
+	esc components.ESCClass, includeWiring bool) weightClosure {
+	var wc weightClosure
+	total := initialG
+	for iter := 0; iter < 200; iter++ {
+		perMotorThrustG := twr * total / 4
+		motorG := components.MotorWeightModel(perMotorThrustG)
+		reqA := propulsion.MotorCurrent(
+			units.GramsToNewtons(perMotorThrustG), propD, packV, p.Eff)
+		escG := components.ESCWeightModel(esc, reqA*p.MotorOversize)
+		wiring := 0.0
+		if includeWiring {
+			wiring = p.WiringBaseG + p.WiringFrac*total
+		}
+		next := fixedG + 4*motorG + escG + wiring
+
+		wc.MotorUnitG = motorG
+		wc.ESC4xG = escG
+		wc.WiringG = wiring
+		wc.RequiredA = reqA
+		wc.Iterations = iter + 1
+
+		if math.Abs(next-total) < 1e-9*(1+total) {
+			wc.TotalG = next
+			wc.Converged = true
+			return wc
+		}
+		// Damped update keeps the slightly super-linear motor weight
+		// model from oscillating on heavy designs.
+		total = 0.5*total + 0.5*next
+		if total > 1e6 || math.IsNaN(total) || math.IsInf(total, 0) {
+			return wc
+		}
+	}
+	return wc
+}
+
 // Resolve computes the Equation 1 fixed point for a spec.
 func Resolve(spec Spec, p Params) (Design, error) {
 	if spec.WheelbaseMM < 40 || spec.WheelbaseMM > 1100 {
@@ -167,40 +221,19 @@ func Resolve(spec Spec, p Params) (Design, error) {
 	propD := units.InchToMeter(d.PropInches)
 	v := units.CellsToVoltage(spec.Cells)
 
-	total := fixed * 1.5 // initial guess
-	for iter := 0; iter < 200; iter++ {
-		perMotorThrustG := spec.TWR * total / 4
-		motorG := components.MotorWeightModel(perMotorThrustG)
-		reqA := propulsion.MotorCurrent(
-			units.GramsToNewtons(perMotorThrustG), propD, v, p.Eff)
-		escG := components.ESCWeightModel(spec.ESCClass, reqA*p.MotorOversize)
-		wiring := p.WiringBaseG + p.WiringFrac*total
-		next := fixed + 4*motorG + escG + wiring
-
-		d.MotorUnitG = motorG
-		d.ESC4xG = escG
-		d.WiringG = wiring
-		d.RequiredCurrentA = reqA
-		d.Iterations = iter + 1
-
-		if math.Abs(next-total) < 1e-9*(1+total) {
-			total = next
-			break
-		}
-		// Damped update keeps the slightly super-linear motor weight
-		// model from oscillating on heavy designs.
-		total = 0.5*total + 0.5*next
-		if total > 1e6 || math.IsNaN(total) || math.IsInf(total, 0) {
-			return Design{}, ErrNoConverge
-		}
-		if iter == 199 {
-			return Design{}, ErrNoConverge
-		}
+	wc := closeWeightLoop(fixed, fixed*1.5, spec.TWR, propD, v, p, spec.ESCClass, true)
+	if !wc.Converged {
+		return Design{}, ErrNoConverge
 	}
-	d.TotalG = total
+	d.MotorUnitG = wc.MotorUnitG
+	d.ESC4xG = wc.ESC4xG
+	d.WiringG = wc.WiringG
+	d.RequiredCurrentA = wc.RequiredA
+	d.Iterations = wc.Iterations
+	d.TotalG = wc.TotalG
 	d.MotorMaxCurrentA = d.RequiredCurrentA * p.MotorOversize
 	d.MotorKv = propulsion.KvForDesign(
-		units.GramsToNewtons(spec.TWR*total/4), propD, v)
+		units.GramsToNewtons(spec.TWR*wc.TotalG/4), propD, v)
 	return d, nil
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"dronedse/parallelx"
 	"dronedse/units"
 )
 
@@ -85,20 +86,19 @@ type ParetoPoint struct {
 // (payload ↑, flight time ↑) frontier — the "extra payload?" branch of the
 // Figure 12 procedure turned into a tool.
 func ParetoPayloadFrontier(spec Spec, p Params, payloadsG []float64) []ParetoPoint {
-	var pts []ParetoPoint
-	for _, payload := range payloadsG {
+	pts := parallelx.FilterMap(payloadsG, func(payload float64) (ParetoPoint, bool) {
 		s := spec
 		s.PayloadG = payload
 		best, ok := BestConfig(s, p, []int{1, 2, 3, 4, 5, 6}, 1000, 8000, 500)
 		if !ok {
-			continue
+			return ParetoPoint{}, false
 		}
-		pts = append(pts, ParetoPoint{
+		return ParetoPoint{
 			Design:    best,
 			FlightMin: best.HoverFlightTimeMin(),
 			Objective: payload,
-		})
-	}
+		}, true
+	})
 	return paretoFilter(pts)
 }
 
@@ -106,22 +106,21 @@ func ParetoPayloadFrontier(spec Spec, p Params, payloadsG []float64) []ParetoPoi
 // ~4 g/W, interpolating Table 4's boards) and returns the non-dominated
 // (compute ↑, flight time ↑) frontier.
 func ParetoComputeFrontier(spec Spec, p Params, computeW []float64) []ParetoPoint {
-	var pts []ParetoPoint
-	for _, w := range computeW {
+	pts := parallelx.FilterMap(computeW, func(w float64) (ParetoPoint, bool) {
 		s := spec
 		s.Compute.Name = "swept"
 		s.Compute.PowerW = w
 		s.Compute.WeightG = 10 + 4*w
 		best, ok := BestConfig(s, p, []int{1, 2, 3, 4, 5, 6}, 1000, 8000, 500)
 		if !ok {
-			continue
+			return ParetoPoint{}, false
 		}
-		pts = append(pts, ParetoPoint{
+		return ParetoPoint{
 			Design:    best,
 			FlightMin: best.HoverFlightTimeMin(),
 			Objective: w,
-		})
-	}
+		}, true
+	})
 	return paretoFilter(pts)
 }
 
@@ -163,23 +162,21 @@ type TWRPoint struct {
 // the compute contribution further; TWR 2 is the upper bound on compute's
 // share. Infeasible ratios are skipped.
 func TWRSweep(spec Spec, p Params) []TWRPoint {
-	var out []TWRPoint
-	for _, twr := range []float64{2, 3, 4, 5, 6, 7} {
+	return parallelx.FilterMap([]float64{2, 3, 4, 5, 6, 7}, func(twr float64) (TWRPoint, bool) {
 		s := spec
 		s.TWR = twr
-		d, err := Resolve(s, p)
+		d, err := ResolveCached(s, p)
 		if err != nil {
-			continue
+			return TWRPoint{}, false
 		}
-		out = append(out, TWRPoint{
+		return TWRPoint{
 			TWR:                  twr,
 			TotalWeightG:         d.TotalG,
 			HoverPowerW:          d.HoverPowerW(),
 			ComputeShareHoverPct: d.ComputeSharePct(p.HoverLoad),
 			FlightMin:            d.HoverFlightTimeMin(),
-		})
-	}
-	return out
+		}, true
+	})
 }
 
 // SensorPayloadPoint is one sample of the §3.1 external-sensor study: how a
@@ -200,7 +197,7 @@ func SensorPayloadStudy(spec Spec, p Params, sensors []struct {
 	Name    string
 	WeightG float64
 }) []SensorPayloadPoint {
-	base, err := Resolve(spec, p)
+	base, err := ResolveCached(spec, p)
 	if err != nil {
 		return nil
 	}
@@ -210,20 +207,23 @@ func SensorPayloadStudy(spec Spec, p Params, sensors []struct {
 		ComputeShareHoverPct: base.ComputeSharePct(p.HoverLoad),
 		FlightMin:            base.HoverFlightTimeMin(),
 	}}
-	for _, sn := range sensors {
+	pts := parallelx.FilterMap(sensors, func(sn struct {
+		Name    string
+		WeightG float64
+	}) (SensorPayloadPoint, bool) {
 		s := spec
 		s.SensorsG = sn.WeightG // self-powered: weight only
-		d, err := Resolve(s, p)
+		d, err := ResolveCached(s, p)
 		if err != nil {
-			continue
+			return SensorPayloadPoint{}, false
 		}
-		out = append(out, SensorPayloadPoint{
+		return SensorPayloadPoint{
 			SensorName:           sn.Name,
 			SensorWeightG:        sn.WeightG,
 			TotalWeightG:         d.TotalG,
 			ComputeShareHoverPct: d.ComputeSharePct(p.HoverLoad),
 			FlightMin:            d.HoverFlightTimeMin(),
-		})
-	}
-	return out
+		}, true
+	})
+	return append(out, pts...)
 }

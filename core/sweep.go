@@ -1,9 +1,8 @@
 package core
 
 import (
-	"math"
-
 	"dronedse/components"
+	"dronedse/parallelx"
 	"dronedse/propulsion"
 	"dronedse/units"
 )
@@ -20,21 +19,33 @@ type SweepPoint struct {
 	Design                  Design
 }
 
+// gridSize returns the number of samples in [lo, lo+step, ..., hi]. The grid
+// is indexed (lo + i*step) rather than accumulated, so float rounding can
+// never drop the last point on long sweeps.
+func gridSize(lo, hi, step float64) int {
+	if step <= 0 || hi < lo {
+		return 0
+	}
+	return int((hi-lo)/step+1e-9) + 1
+}
+
 // SweepCapacity resolves the design at each battery capacity from loMah to
 // hiMah in stepMah increments (the paper sweeps 1000-8000 mAh), returning
 // the Figure 10 series for one wheelbase / cell-count / compute choice.
-// Infeasible points are skipped.
+// Infeasible points are skipped. Grid points fan out across the parallelx
+// pool; output is identical to the serial (PoolSize=1) loop.
 func SweepCapacity(spec Spec, p Params, loMah, hiMah, stepMah float64) []SweepPoint {
-	var out []SweepPoint
-	for cap := loMah; cap <= hiMah+1e-9; cap += stepMah {
+	n := gridSize(loMah, hiMah, stepMah)
+	pts := parallelx.MapIndex(n, func(i int) *SweepPoint {
+		capacityMah := loMah + float64(i)*stepMah
 		s := spec
-		s.CapacityMah = cap
-		d, err := Resolve(s, p)
+		s.CapacityMah = capacityMah
+		d, err := ResolveCached(s, p)
 		if err != nil {
-			continue
+			return nil
 		}
-		out = append(out, SweepPoint{
-			CapacityMah:             cap,
+		return &SweepPoint{
+			CapacityMah:             capacityMah,
 			TotalWeightG:            d.TotalG,
 			HoverPowerW:             d.HoverPowerW(),
 			ManeuverPowerW:          d.ManeuverPowerW(),
@@ -42,21 +53,32 @@ func SweepCapacity(spec Spec, p Params, loMah, hiMah, stepMah float64) []SweepPo
 			ComputeShareHoverPct:    d.ComputeSharePct(p.HoverLoad),
 			ComputeShareManeuverPct: d.ComputeSharePct(p.ManeuverLoad),
 			Design:                  d,
-		})
+		}
+	})
+	var out []SweepPoint
+	for _, pt := range pts {
+		if pt != nil {
+			out = append(out, *pt)
+		}
 	}
 	return out
 }
 
 // BestConfig searches cells x capacity for the configuration with the
 // longest hovering flight time — the "Best Configuration" annotation of
-// Figures 10a-c. It returns ok=false when nothing is feasible.
+// Figures 10a-c. The whole grid fans out across the pool; the reduction
+// scans in input order, so ties resolve exactly as the serial double loop
+// did. It returns ok=false when nothing is feasible.
 func BestConfig(spec Spec, p Params, cellsOptions []int, loMah, hiMah, stepMah float64) (Design, bool) {
-	var best Design
-	bestMin := -1.0
-	for _, cells := range cellsOptions {
+	sweeps := parallelx.Map(cellsOptions, func(cells int) []SweepPoint {
 		s := spec
 		s.Cells = cells
-		for _, pt := range SweepCapacity(s, p, loMah, hiMah, stepMah) {
+		return SweepCapacity(s, p, loMah, hiMah, stepMah)
+	})
+	var best Design
+	bestMin := -1.0
+	for _, pts := range sweeps {
+		for _, pt := range pts {
 			if ft := pt.HoverFlightMin; ft > bestMin {
 				bestMin = ft
 				best = pt.Design
@@ -78,45 +100,25 @@ type MotorCurrentPoint struct {
 // weight (everything except battery, ESCs and motors — the figure's x-axis
 // convention), it closes the motor/ESC weight loop at the target TWR and
 // returns the per-motor max current and matching Kv for the wheelbase's
-// propeller and the given supply.
+// propeller and the given supply. Non-converging weights are skipped.
 func MotorCurrentVsBasicWeight(wheelbaseMM float64, cells int, twr float64, p Params, basicWeightsG []float64) []MotorCurrentPoint {
 	propIn := components.MaxPropellerInches(wheelbaseMM)
 	propD := units.InchToMeter(propIn)
 	v := units.CellsToVoltage(cells)
-	out := make([]MotorCurrentPoint, 0, len(basicWeightsG))
-	for _, basic := range basicWeightsG {
-		// Close the motor+ESC loop on top of the basic weight.
-		total := basic * 1.3
-		var reqA float64
-		converged := false
-		for iter := 0; iter < 200; iter++ {
-			perMotorThrustG := twr * total / 4
-			motorG := components.MotorWeightModel(perMotorThrustG)
-			reqA = propulsion.MotorCurrent(
-				units.GramsToNewtons(perMotorThrustG), propD, v, p.Eff)
-			escG := components.ESCWeightModel(components.LongFlight, reqA*p.MotorOversize)
-			next := basic + 4*motorG + escG
-			if math.Abs(next-total) < 1e-9*(1+total) {
-				total = next
-				converged = true
-				break
-			}
-			total = 0.5*total + 0.5*next
-			if total > 1e6 || math.IsNaN(total) {
-				break
-			}
+	return parallelx.FilterMap(basicWeightsG, func(basic float64) (MotorCurrentPoint, bool) {
+		// Close the motor+ESC loop on top of the basic weight (no
+		// battery, no wiring — the figure's x-axis convention).
+		wc := closeWeightLoop(basic, basic*1.3, twr, propD, v, p, components.LongFlight, false)
+		if !wc.Converged {
+			return MotorCurrentPoint{}, false
 		}
-		if !converged {
-			continue
-		}
-		out = append(out, MotorCurrentPoint{
+		return MotorCurrentPoint{
 			BasicWeightG: basic,
-			CurrentA:     reqA,
+			CurrentA:     wc.RequiredA,
 			Kv: propulsion.KvForDesign(
-				units.GramsToNewtons(twr*total/4), propD, v),
-		})
-	}
-	return out
+				units.GramsToNewtons(twr*wc.TotalG/4), propD, v),
+		}, true
+	})
 }
 
 // MinFeasibleBasicWeightG estimates Figure 9's "Min. Possible Weight Line":

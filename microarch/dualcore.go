@@ -8,6 +8,8 @@ package microarch
 // a shared last-level cache — and shows how much of the Figure 15
 // interference that removes (and how much LLC sharing still leaks).
 
+import "dronedse/parallelx"
+
 // NewCoreSharedL2 builds a core with private L1/TLB/BP using the provided
 // shared L2.
 func NewCoreSharedL2(l2 *Cache) *Core {
@@ -77,10 +79,17 @@ type IsolationResult struct {
 // RunIsolationStudy measures the autopilot under the three §2.2 deployment
 // options.
 func RunIsolationStudy(seed int64, iters int) IsolationResult {
-	return IsolationResult{
-		Solo:       RunSolo(NewAutopilotWorkload(seed), iters),
-		SharedCore: RunCoResident(NewAutopilotWorkload(seed), NewSLAMWorkload(seed+1), iters, 40, 8),
-		DedicatedCore: RunDedicatedCores(
-			NewAutopilotWorkload(seed), NewSLAMWorkload(seed+1), iters, 40, 8),
-	}
+	var out IsolationResult
+	parallelx.Do(
+		func() { out.Solo = RunSolo(NewAutopilotWorkload(seed), iters) },
+		func() {
+			out.SharedCore = RunCoResident(
+				NewAutopilotWorkload(seed), NewSLAMWorkload(seed+1), iters, 40, 8)
+		},
+		func() {
+			out.DedicatedCore = RunDedicatedCores(
+				NewAutopilotWorkload(seed), NewSLAMWorkload(seed+1), iters, 40, 8)
+		},
+	)
+	return out
 }

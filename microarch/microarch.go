@@ -9,7 +9,11 @@
 // LLC/branch miss rates, and IPC are measured solo vs. co-resident.
 package microarch
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"dronedse/parallelx"
+)
 
 // Cache is a set-associative cache with LRU replacement.
 type Cache struct {
@@ -487,11 +491,19 @@ type Figure15Result struct {
 	AutopilotWithSLAM Metrics
 }
 
-// RunFigure15 executes the experiment at a representative scale.
+// RunFigure15 executes the experiment at a representative scale. The three
+// workload configurations simulate on independent core models with
+// independent RNG streams, so they run concurrently on the parallelx pool
+// with results identical to back-to-back serial runs.
 func RunFigure15(seed int64, iters int) Figure15Result {
-	return Figure15Result{
-		Autopilot:         RunSolo(NewAutopilotWorkload(seed), iters),
-		SLAM:              RunSolo(NewSLAMWorkload(seed+1), iters),
-		AutopilotWithSLAM: RunCoResident(NewAutopilotWorkload(seed), NewSLAMWorkload(seed+1), iters, 40, 8),
-	}
+	var out Figure15Result
+	parallelx.Do(
+		func() { out.Autopilot = RunSolo(NewAutopilotWorkload(seed), iters) },
+		func() { out.SLAM = RunSolo(NewSLAMWorkload(seed+1), iters) },
+		func() {
+			out.AutopilotWithSLAM = RunCoResident(
+				NewAutopilotWorkload(seed), NewSLAMWorkload(seed+1), iters, 40, 8)
+		},
+	)
+	return out
 }

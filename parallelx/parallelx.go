@@ -1,0 +1,148 @@
+// Package parallelx is the repo's shared fan-out engine: a bounded worker
+// pool with deterministic, input-ordered map-reduce primitives. Every
+// compute-heavy layer (the core design-space sweeps, the bench figure
+// generators, the slambench per-sequence runs, the microarch trace sims)
+// fans out through it, so one knob — the pool size — governs the whole
+// pipeline's parallelism.
+//
+// Determinism contract: all primitives write each result into the slot of
+// the input that produced it, so output order is the input order regardless
+// of completion order. With a pure worker function, output at any pool size
+// is identical to PoolSize=1 (the serial path, which runs inline without
+// spawning goroutines).
+package parallelx
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// poolSize is the process-wide default worker count.
+var poolSize atomic.Int64
+
+func init() { poolSize.Store(int64(runtime.NumCPU())) }
+
+// PoolSize returns the current default worker count.
+func PoolSize() int { return int(poolSize.Load()) }
+
+// SetPoolSize sets the default worker count and returns the previous value.
+// Values below 1 are clamped to 1 (the serial path). Commands expose this as
+// their -procs flag.
+func SetPoolSize(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(poolSize.Swap(int64(n)))
+}
+
+// workers returns the number of goroutines to spawn for n items.
+func workers(n int) int {
+	w := PoolSize()
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// MapIndex computes fn(0..n-1) across the pool and returns the results in
+// index order. fn must be safe for concurrent invocation; each index is
+// evaluated exactly once.
+func MapIndex[R any](n int, fn func(i int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]R, n)
+	w := workers(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Map applies fn to every item across the pool, returning results in input
+// order.
+func Map[T, R any](items []T, fn func(T) R) []R {
+	return MapIndex(len(items), func(i int) R { return fn(items[i]) })
+}
+
+// FilterMap applies fn to every item and keeps, in input order, the results
+// for which fn returned ok. It is the shape of a grid sweep that skips
+// infeasible points: the kept subsequence is identical to the serial loop's.
+func FilterMap[T, R any](items []T, fn func(T) (R, bool)) []R {
+	type slot struct {
+		v  R
+		ok bool
+	}
+	slots := MapIndex(len(items), func(i int) slot {
+		v, ok := fn(items[i])
+		return slot{v, ok}
+	})
+	out := make([]R, 0, len(items))
+	for _, s := range slots {
+		if s.ok {
+			out = append(out, s.v)
+		}
+	}
+	return out
+}
+
+// ChunkIndex splits [0, n) into one contiguous chunk per worker and calls
+// fn(lo, hi) for each. Use it for grid sweeps whose per-index work is too
+// cheap to schedule individually; fn chunks must write only to their own
+// index range.
+func ChunkIndex(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := workers(n)
+	if w == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the thunks concurrently (bounded by the pool) and returns when all
+// have finished. Each thunk must write only to its own destinations.
+func Do(fns ...func()) {
+	MapIndex(len(fns), func(i int) struct{} {
+		fns[i]()
+		return struct{}{}
+	})
+}

@@ -185,9 +185,18 @@ func suppress(kps []Keypoint, w, h, cell int) []Keypoint {
 			grid[key] = slot{idx: i, resp: kp.Response}
 		}
 	}
-	out := make([]Keypoint, 0, len(grid))
+	// Emit winners in original detection order: map iteration order is
+	// randomized, and the strongest-response sort downstream breaks ties by
+	// position in this slice — feeding it map order would make the surviving
+	// keypoint set (and every pose estimate built on it) vary run to run.
+	idxs := make([]int, 0, len(grid))
 	for _, s := range grid {
-		out = append(out, kps[s.idx])
+		idxs = append(idxs, s.idx)
+	}
+	sort.Ints(idxs)
+	out := make([]Keypoint, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, kps[i])
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package slam
 
 import (
 	"math"
+	"sort"
 
 	"dronedse/dataset"
 	"dronedse/mathx"
@@ -72,9 +73,16 @@ func (s *System) MapPoints() int { return len(s.points) }
 // MapPointPositions returns the positions of all map points — the landmark
 // cloud downstream consumers (occupancy mapping, planning) build on.
 func (s *System) MapPointPositions() []mathx.Vec3 {
-	out := make([]mathx.Vec3, 0, len(s.points))
-	for _, mp := range s.points {
-		out = append(out, mp.Pos)
+	// Sorted by landmark ID so the cloud is reproducible across runs (map
+	// iteration order is randomized).
+	ids := make([]int, 0, len(s.points))
+	for id := range s.points {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]mathx.Vec3, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.points[id].Pos)
 	}
 	return out
 }
