@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-json ci
+.PHONY: all build vet test race bench-smoke bench-slam bench-json ci
 
 all: build
 
@@ -27,8 +27,14 @@ bench-smoke:
 	$(GO) test ./core/ -run '^$$' -bench 'BenchmarkResolve|BenchmarkSweepCapacity|BenchmarkBestConfig' -benchtime 10x
 	$(GO) test ./parallelx/ -run '^$$' -bench . -benchtime 10x 2>/dev/null || true
 
+# SLAM front-end kernel smoke: one quick pass over the tracking hot paths
+# (detection, projection matching, local BA, full sequence) so kernel
+# regressions surface in CI without the full benchmark suite.
+bench-slam:
+	$(GO) test ./slam/ -run '^$$' -bench 'BenchmarkDetect|BenchmarkMatchByProjection|BenchmarkBundleAdjustLocal' -benchtime 5x
+
 # Perf trajectory artifact: BENCH_core.json (ns/op, allocs/op per pool size).
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_core.json
 
-ci: vet build race bench-smoke
+ci: vet build race bench-smoke bench-slam

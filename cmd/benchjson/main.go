@@ -20,7 +20,9 @@ import (
 
 	"dronedse/bench"
 	"dronedse/core"
+	"dronedse/dataset"
 	"dronedse/parallelx"
+	"dronedse/slam"
 )
 
 // Result is one benchmark measurement.
@@ -141,6 +143,45 @@ func main() {
 			bench.RunFigure10(450, p)
 		}
 	})
+	// SLAM front-end kernels (this PR's hot paths). Pool sizes 1/2/8 track
+	// the serial floor, the dual-core win, and the saturation point; outputs
+	// are pool-invariant (see slam/parallel_test.go), so only timing moves.
+	slamPools := []int{1, 2, 8}
+	seq, err := dataset.Generate(dataset.EuRoCSpecs()[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	h := slam.NewBenchHarness(seq, 30)
+	measure("slam_detect", slamPools, func(b *testing.B) {
+		h.Detect() // warm detector scratch at this pool size
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Detect()
+		}
+	})
+	measure("slam_match_projection", slamPools, func(b *testing.B) {
+		h.MatchByProjection()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.MatchByProjection()
+		}
+	})
+	measure("slam_ba_local", slamPools, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.LocalBA()
+		}
+	})
+	measure("slam_run_sequence", slamPools, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			slam.RunSequence(seq)
+		}
+	})
+
 	seqName := fmt.Sprintf("slam_suite_%dseq", *seqs)
 	if *seqs == 0 {
 		seqName = "slam_suite_full"

@@ -109,6 +109,30 @@ func FilterMap[T, R any](items []T, fn func(T) (R, bool)) []R {
 	return out
 }
 
+// MapChunks splits [0, n) into fixed-length chunks — ceil(n/chunk) of them,
+// the last possibly short — and computes fn(ci, lo, hi) for each across the
+// pool, returning the results in chunk order. Unlike ChunkIndex, the chunk
+// boundaries depend only on n and chunk, never on the pool size, so banded
+// kernels (e.g. row-band feature detection) whose per-chunk results are
+// concatenated produce identical merged output at every pool size.
+func MapChunks[R any](n, chunk int, fn func(ci, lo, hi int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	nc := (n + chunk - 1) / chunk
+	return MapIndex(nc, func(ci int) R {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		return fn(ci, lo, hi)
+	})
+}
+
 // ChunkIndex splits [0, n) into one contiguous chunk per worker and calls
 // fn(lo, hi) for each. Use it for grid sweeps whose per-index work is too
 // cheap to schedule individually; fn chunks must write only to their own

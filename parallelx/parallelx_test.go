@@ -117,6 +117,52 @@ func TestFilterMapKeepsOrder(t *testing.T) {
 	}
 }
 
+// TestMapChunksFixedBoundaries: chunk boundaries depend only on (n, chunk),
+// so the concatenated results are identical at every pool size — the banded
+// determinism the SLAM detector relies on.
+func TestMapChunksFixedBoundaries(t *testing.T) {
+	type span struct{ ci, lo, hi int }
+	collect := func() []span {
+		return MapChunks(103, 16, func(ci, lo, hi int) span { return span{ci, lo, hi} })
+	}
+	var serial []span
+	withPool(t, 1, func() { serial = collect() })
+	if len(serial) != 7 {
+		t.Fatalf("103/16 gave %d chunks, want 7", len(serial))
+	}
+	if last := serial[6]; last.lo != 96 || last.hi != 103 {
+		t.Fatalf("tail chunk = %+v, want [96,103)", last)
+	}
+	covered := 0
+	for i, s := range serial {
+		if s.ci != i || s.lo != i*16 {
+			t.Fatalf("chunk %d = %+v, boundaries not fixed", i, s)
+		}
+		covered += s.hi - s.lo
+	}
+	if covered != 103 {
+		t.Fatalf("chunks cover %d of 103 indices", covered)
+	}
+	for _, pool := range []int{2, 5, 32} {
+		withPool(t, pool, func() {
+			if got := collect(); !reflect.DeepEqual(got, serial) {
+				t.Fatalf("pool=%d MapChunks differs from serial", pool)
+			}
+		})
+	}
+}
+
+func TestMapChunksDegenerate(t *testing.T) {
+	if got := MapChunks(0, 8, func(ci, lo, hi int) int { return 1 }); got != nil {
+		t.Fatalf("MapChunks(0) = %v, want nil", got)
+	}
+	// chunk < 1 clamps to 1.
+	got := MapChunks(3, 0, func(ci, lo, hi int) int { return hi - lo })
+	if len(got) != 3 || got[0] != 1 {
+		t.Fatalf("MapChunks(3, 0) = %v, want three 1-wide chunks", got)
+	}
+}
+
 func TestChunkIndexCoversAllOnce(t *testing.T) {
 	for _, pool := range []int{1, 3, 7, 64} {
 		withPool(t, pool, func() {

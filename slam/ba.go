@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"dronedse/mathx"
+	"dronedse/parallelx"
 )
 
 // KeyFrame is a mapped camera frame.
@@ -33,75 +34,162 @@ type MapPoint struct {
 // ORB-SLAM's execution time on the RPi.
 const jointBAEquivalence = 12
 
+// obsRef is one keyframe observation of a map point: the observing keyframe
+// (whose pose is read live during BA) plus the fixed 2-D measurement.
+type obsRef struct {
+	kf   *KeyFrame
+	u, v float64
+}
+
+// kfProblem is the motion-step work unit for one keyframe: the map points it
+// observes and their measurements. mps/us/vs are fixed for the whole
+// bundleAdjust call; pts is refreshed from mps each iteration (structure
+// steps move the points between iterations).
+type kfProblem struct {
+	kf     *KeyFrame
+	mps    []*MapPoint
+	pts    []mathx.Vec3
+	us, vs []float64
+}
+
+// ptProblem is the structure-step work unit for one map point.
+type ptProblem struct {
+	mp  *MapPoint
+	obs []obsRef
+}
+
+// baScratch holds bundleAdjust's adjacency buffers, reused across calls
+// (local BA runs on every keyframe insertion).
+type baScratch struct {
+	kfProbs []kfProblem
+	ptProbs []ptProblem
+	ptIdx   map[int]int // point ID -> index into ptProbs
+}
+
 // bundleAdjust performs block-coordinate bundle adjustment over the given
 // keyframes and the map points they observe: alternating motion-only
 // Gauss-Newton (per keyframe) and structure-only Gauss-Newton (per point),
 // which descends the joint reprojection objective the way ORB-SLAM's local
 // and global BA do. ops are accounted to the provided counter at
 // joint-solver equivalence.
+//
+// The observation adjacency (per-keyframe point lists for the motion step,
+// per-point observation lists for the structure step) is identical in every
+// iteration, so it is built once per call — it used to be rebuilt per
+// iteration — and both steps fan out through the parallelx pool: within the
+// motion step every keyframe refinement reads only point positions (written
+// by the previous structure step) and its own pose; within the structure
+// step every point refinement reads only keyframe poses and its own
+// position. Ops are summed from per-unit counts, and uint64 addition is
+// exact and commutative, so the ledger and all poses/points are identical
+// at every pool size.
 func (s *System) bundleAdjust(kfs []*KeyFrame, iters int, opsCounter *uint64) {
 	if len(kfs) == 0 {
 		return
 	}
-	var raw uint64
-	out := opsCounter
-	defer func() { *out += raw * jointBAEquivalence }()
-	opsCounter = &raw
-	for it := 0; it < iters; it++ {
-		// Motion step: refine each keyframe pose against its points.
-		for _, kf := range kfs {
-			var pts []mathx.Vec3
-			var us, vs []float64
-			for _, ob := range kf.Obs {
-				mp, ok := s.points[ob.PointID]
-				if !ok {
-					continue
-				}
-				pts = append(pts, mp.Pos)
-				us = append(us, ob.U)
-				vs = append(vs, ob.V)
-			}
-			if len(pts) < 6 {
-				continue
-			}
-			var tmp Stats
-			kf.Pose = OptimizePose(s.Cam, kf.Pose, pts, us, vs, 2, &tmp)
-			*opsCounter += tmp.MatchingOps + tmp.LocalBAOps
+	sc := &s.baScratch
+	if sc.ptIdx == nil {
+		sc.ptIdx = make(map[int]int, 1024)
+	}
+	clear(sc.ptIdx)
+	kfProbs := sc.kfProbs[:0]
+	ptProbs := sc.ptProbs[:0]
+	// extendKf/extendPt reuse a truncated slot's inner buffers when the
+	// backing array still has one, instead of appending a zero value that
+	// would discard them.
+	extendKf := func() *kfProblem {
+		if len(kfProbs) < cap(kfProbs) {
+			kfProbs = kfProbs[:len(kfProbs)+1]
+		} else {
+			kfProbs = append(kfProbs, kfProblem{})
 		}
-
-		// Structure step: refine each point seen from >= 2 keyframes in
-		// the window.
-		obsOf := make(map[int][]struct {
-			kf   *KeyFrame
-			u, v float64
-		})
-		for _, kf := range kfs {
-			for _, ob := range kf.Obs {
-				obsOf[ob.PointID] = append(obsOf[ob.PointID], struct {
-					kf   *KeyFrame
-					u, v float64
-				}{kf, ob.U, ob.V})
-			}
+		return &kfProbs[len(kfProbs)-1]
+	}
+	extendPt := func() *ptProblem {
+		if len(ptProbs) < cap(ptProbs) {
+			ptProbs = ptProbs[:len(ptProbs)+1]
+		} else {
+			ptProbs = append(ptProbs, ptProblem{})
 		}
-		for id, obs := range obsOf {
-			if len(obs) < 2 {
-				continue
-			}
-			mp, ok := s.points[id]
+		return &ptProbs[len(ptProbs)-1]
+	}
+	for _, kf := range kfs {
+		var p *kfProblem
+		for _, ob := range kf.Obs {
+			mp, ok := s.points[ob.PointID]
 			if !ok {
 				continue
 			}
-			mp.Pos = refinePoint(s, mp.Pos, obs, opsCounter)
+			if p == nil {
+				p = extendKf()
+				p.kf = kf
+				p.mps = p.mps[:0]
+				p.us, p.vs = p.us[:0], p.vs[:0]
+			}
+			p.mps = append(p.mps, mp)
+			p.us = append(p.us, ob.U)
+			p.vs = append(p.vs, ob.V)
+			pi, seen := sc.ptIdx[ob.PointID]
+			if !seen {
+				pi = len(ptProbs)
+				sc.ptIdx[ob.PointID] = pi
+				q := extendPt()
+				q.mp = mp
+				q.obs = q.obs[:0]
+			}
+			ptProbs[pi].obs = append(ptProbs[pi].obs, obsRef{kf, ob.U, ob.V})
+		}
+		if p != nil && len(p.mps) < 6 {
+			kfProbs = kfProbs[:len(kfProbs)-1] // too few points to refine
+		} else if p != nil {
+			p.pts = grow(p.pts, len(p.mps))
 		}
 	}
+	// Keep only points seen from >= 2 keyframes in the window (swap, not
+	// overwrite, so dropped slots keep their buffers for the next call).
+	n := 0
+	for i := range ptProbs {
+		if len(ptProbs[i].obs) >= 2 {
+			ptProbs[n], ptProbs[i] = ptProbs[i], ptProbs[n]
+			n++
+		}
+	}
+	ptProbs = ptProbs[:n]
+	sc.kfProbs, sc.ptProbs = kfProbs[:0], ptProbs[:0]
+
+	var raw uint64
+	for it := 0; it < iters; it++ {
+		// Motion step: refine each keyframe pose against its points.
+		kfOps := parallelx.MapIndex(len(kfProbs), func(i int) uint64 {
+			p := &kfProbs[i]
+			for k, mp := range p.mps {
+				p.pts[k] = mp.Pos
+			}
+			var tmp Stats
+			p.kf.Pose = OptimizePose(s.Cam, p.kf.Pose, p.pts, p.us, p.vs, 2, &tmp)
+			return tmp.MatchingOps + tmp.LocalBAOps
+		})
+		for _, ops := range kfOps {
+			raw += ops
+		}
+
+		// Structure step: refine each point seen from >= 2 keyframes.
+		ptOps := parallelx.MapIndex(len(ptProbs), func(i int) uint64 {
+			pos, ops := refinePoint(s, ptProbs[i].mp.Pos, ptProbs[i].obs)
+			ptProbs[i].mp.Pos = pos
+			return ops
+		})
+		for _, ops := range ptOps {
+			raw += ops
+		}
+	}
+	*opsCounter += raw * jointBAEquivalence
 }
 
 // refinePoint runs one Gauss-Newton step on a point position from its
-// observations (3x3 normal equations).
-func refinePoint(s *System, pos mathx.Vec3, obs []struct {
-	kf   *KeyFrame
-	u, v float64
-}, opsCounter *uint64) mathx.Vec3 {
+// observations (3x3 normal equations), returning the refined position and
+// the raw op count.
+func refinePoint(s *System, pos mathx.Vec3, obs []obsRef) (mathx.Vec3, uint64) {
 	var h mathx.Mat3
 	var g mathx.Vec3
 	used := 0
@@ -145,19 +233,18 @@ func refinePoint(s *System, pos mathx.Vec3, obs []struct {
 		used++
 	}
 	if used < 2 {
-		return pos
+		return pos, 0
 	}
 	for a := 0; a < 3; a++ {
 		h[a][a] += 1e-3*h[a][a] + 1e-9
 	}
 	inv, ok := h.Inverse()
 	if !ok {
-		return pos
+		return pos, 0
 	}
 	delta := inv.MulVec(g.Neg())
-	*opsCounter += uint64(used) * 90
 	if delta.Norm() > 1.0 {
 		delta = delta.Scale(1.0 / delta.Norm()) // trust region
 	}
-	return pos.Add(delta)
+	return pos.Add(delta), uint64(used) * 90
 }

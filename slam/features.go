@@ -5,12 +5,27 @@
 // kernel accounts its arithmetic work in a Stats ledger so the hardware
 // platform models (internal/platform) can retime the same computation on
 // RPi / TX2 / FPGA / ASIC, reproducing Figure 17 and Table 5.
+//
+// The hot kernels are written for throughput: detection fans out over fixed
+// row bands through the shared parallelx pool and the per-frame grids and
+// keypoint buffers are flat slices reused across frames, so the pipeline's
+// output — keypoints, trajectory, and the Stats ledger — is byte-identical
+// to the serial path at every pool size (asserted by parallel_test.go).
+//
+// Note on the FAST early-out: earlier revisions required 3 of the 4 compass
+// points to differ strongly, which is the FAST-12 criterion; a genuine
+// FAST-9 segment of 9 contiguous circle pixels can cover as few as 2 of the
+// 4 compass points (indices 0/4/8/12), so that test wrongly rejected real
+// corners. The pre-test now uses the 2-of-4 criterion, which is a necessary
+// condition for a 9-run and therefore never rejects a true FAST-9 corner.
 package slam
 
 import (
 	"math/bits"
 	"math/rand"
 	"sort"
+
+	"dronedse/parallelx"
 )
 
 // Image is a grayscale image.
@@ -19,7 +34,9 @@ type Image struct {
 	Pix  []uint8
 }
 
-// At returns the pixel at (x, y) with border clamping.
+// At returns the pixel at (x, y) with border clamping. The detection and
+// description kernels index Pix directly on the unclamped interior and only
+// fall back to At where a sampling pattern can leave the image.
 func (im Image) At(x, y int) uint8 {
 	if x < 0 {
 		x = 0
@@ -63,7 +80,8 @@ var fastOffsets = [16][2]int{
 
 // briefPattern is the fixed random sampling pattern for the descriptor,
 // generated once with a fixed seed so descriptors are comparable across
-// frames and processes.
+// frames and processes. Offsets are in [-7, 7], which bounds the border
+// clamping radius of describe.
 var briefPattern = func() [256][4]int {
 	r := rand.New(rand.NewSource(31415))
 	var p [256][4]int
@@ -73,7 +91,18 @@ var briefPattern = func() [256][4]int {
 	return p
 }()
 
+// briefRadius is the maximum |offset| in briefPattern: keypoints at least
+// this far from every border take the unclamped describe fast path.
+const briefRadius = 7
+
+// detectBandRows is the fixed height of one detection band. Band boundaries
+// depend only on the image height — never on the pool size — so the merged
+// keypoint list is identical however the bands are scheduled.
+const detectBandRows = 32
+
 // Detector runs FAST-style corner detection plus BRIEF-style description.
+// The zero value is usable but unconfigured; a Detector is not safe for
+// concurrent Detect calls (it owns reusable per-frame scratch buffers).
 type Detector struct {
 	// Threshold is the FAST intensity threshold.
 	Threshold int
@@ -81,7 +110,34 @@ type Detector struct {
 	MaxFeatures int
 	// Stats receives the work accounting; nil disables accounting.
 	Stats *Stats
+
+	// scratch holds the per-frame buffers Detect reuses across calls; the
+	// returned keypoint slice is always a fresh copy, so callers may retain
+	// it across frames.
+	scratch detectScratch
 }
+
+// detectScratch is the detector's reusable per-frame storage: per-band
+// keypoint buffers for the parallel scan, the merged keypoint buffer, the
+// flat suppression grid, and the BRIEF pattern flattened to pixel strides
+// for the current image width.
+type detectScratch struct {
+	bands    [][]Keypoint // one buffer per row band
+	kps      []Keypoint   // merged candidates (suppressed in place)
+	grid     []int32      // suppression grid: cell -> candidate index, -1 empty
+	briefOff [256][2]int32
+	briefW   int // image width briefOff was computed for (0 = none)
+	sorter   kpSorter
+}
+
+// kpSorter sorts keypoints by descending response. It lives in the scratch
+// so sort.Sort sees a pointer and the interface conversion does not allocate
+// (sort.Slice's reflect-based swapper costs several allocations per call).
+type kpSorter struct{ kps []Keypoint }
+
+func (s *kpSorter) Len() int           { return len(s.kps) }
+func (s *kpSorter) Less(i, j int) bool { return s.kps[i].Response > s.kps[j].Response }
+func (s *kpSorter) Swap(i, j int)      { s.kps[i], s.kps[j] = s.kps[j], s.kps[i] }
 
 // NewDetector returns the default detector (ORB-SLAM keeps ~1000 features
 // per frame on EuRoC; the scaled images here keep fewer).
@@ -89,65 +145,28 @@ func NewDetector(stats *Stats) *Detector {
 	return &Detector{Threshold: 22, MaxFeatures: 400, Stats: stats}
 }
 
-// Detect finds corners and computes their descriptors.
+// Detect finds corners and computes their descriptors. The pixel scan fans
+// out over fixed-height row bands via the parallelx pool and the per-band
+// results are concatenated in band order, which is exactly the row-major
+// order of the serial scan; description is parallelized per keypoint. The
+// result is therefore identical at every pool size.
 func (d *Detector) Detect(im Image) []Keypoint {
-	var kps []Keypoint
-	const segLen = 9 // FAST-9: nine contiguous circle pixels
-	for y := 3; y < im.H-3; y++ {
-		for x := 3; x < im.W-3; x++ {
-			c := int(im.Pix[y*im.W+x])
-			// Fast reject: at least one of the 4 compass points must
-			// differ strongly (the standard FAST early-out).
-			hi, lo := 0, 0
-			for _, k := range [4]int{0, 4, 8, 12} {
-				p := int(im.At(x+fastOffsets[k][0], y+fastOffsets[k][1]))
-				if p >= c+d.Threshold {
-					hi++
-				} else if p <= c-d.Threshold {
-					lo++
-				}
-			}
-			if hi < 3 && lo < 3 {
-				continue
-			}
-			// Full segment test.
-			var diffs [32]int
-			for k := 0; k < 16; k++ {
-				p := int(im.At(x+fastOffsets[k][0], y+fastOffsets[k][1]))
-				switch {
-				case p >= c+d.Threshold:
-					diffs[k] = 1
-				case p <= c-d.Threshold:
-					diffs[k] = -1
-				}
-				diffs[16+k] = diffs[k]
-			}
-			run, best, sign := 0, 0, 0
-			resp := 0
-			for k := 0; k < 32; k++ {
-				if diffs[k] != 0 && diffs[k] == sign {
-					run++
-				} else {
-					sign = diffs[k]
-					run = 1
-				}
-				if diffs[k] != 0 && run > best {
-					best = run
-				}
-			}
-			if best < segLen {
-				continue
-			}
-			for k := 0; k < 16; k++ {
-				p := int(im.At(x+fastOffsets[k][0], y+fastOffsets[k][1]))
-				if p-c > resp {
-					resp = p - c
-				} else if c-p > resp {
-					resp = c - p
-				}
-			}
-			kps = append(kps, Keypoint{X: float64(x), Y: float64(y), Response: resp})
-		}
+	sc := &d.scratch
+	rows := im.H - 6 // y ranges over [3, H-3)
+	var nb int
+	if rows > 0 {
+		nb = (rows + detectBandRows - 1) / detectBandRows
+	}
+	for len(sc.bands) < nb {
+		sc.bands = append(sc.bands, nil)
+	}
+	bands := parallelx.MapChunks(rows, detectBandRows, func(ci, lo, hi int) []Keypoint {
+		return d.detectBand(im, 3+lo, 3+hi, sc.bands[ci][:0])
+	})
+	kps := sc.kps[:0]
+	for ci, b := range bands {
+		sc.bands[ci] = b // keep grown buffers for the next frame
+		kps = append(kps, b...)
 	}
 	if d.Stats != nil {
 		// ~10 ops per pixel on average: the compass-point early-out
@@ -156,52 +175,166 @@ func (d *Detector) Detect(im Image) []Keypoint {
 	}
 
 	// Non-max-ish suppression: keep the strongest within a cell grid.
-	kps = suppress(kps, im.W, im.H, 8)
-	sort.Slice(kps, func(i, j int) bool { return kps[i].Response > kps[j].Response })
+	kps = d.suppress(kps, im.W, im.H, 8)
+	sc.sorter.kps = kps
+	sort.Sort(&sc.sorter)
+	sc.sorter.kps = nil
 	if len(kps) > d.MaxFeatures {
 		kps = kps[:d.MaxFeatures]
 	}
-	for i := range kps {
-		kps[i].Desc = describe(im, kps[i])
+	if sc.briefW != im.W {
+		for i, p := range briefPattern {
+			sc.briefOff[i][0] = int32(p[1]*im.W + p[0])
+			sc.briefOff[i][1] = int32(p[3]*im.W + p[2])
+		}
+		sc.briefW = im.W
 	}
+	parallelx.ChunkIndex(len(kps), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			kps[i].Desc = d.describeKp(im, kps[i])
+		}
+	})
 	if d.Stats != nil {
 		// 256 pairwise intensity comparisons per descriptor.
 		d.Stats.FeatureExtractionOps += uint64(len(kps)) * 256 * 3
 	}
-	return kps
+	sc.kps = kps[:0] // keep the merged buffer; hand the caller a copy
+	return append([]Keypoint(nil), kps...)
 }
 
-// suppress keeps only the strongest keypoint per cell x cell block.
-func suppress(kps []Keypoint, w, h, cell int) []Keypoint {
-	type slot struct {
-		idx  int
-		resp int
+// hasRun9 reports whether the 16-bit circular mask m contains 9 contiguous
+// set bits, by run-length doubling: a marks starts of runs >= 2, b of runs
+// >= 4, c of runs >= 8; c anded with the bit 8 ahead marks runs >= 9.
+func hasRun9(m uint32) bool {
+	rot1 := ((m >> 1) | (m << 15)) & 0xFFFF
+	a := m & rot1
+	rot2 := ((a >> 2) | (a << 14)) & 0xFFFF
+	b := a & rot2
+	rot4 := ((b >> 4) | (b << 12)) & 0xFFFF
+	c := b & rot4
+	rot8 := ((m >> 8) | (m << 8)) & 0xFFFF
+	return c&rot8 != 0
+}
+
+// detectBand scans rows [y0, y1) for FAST-9 corners, appending to out. The
+// scan range keeps the radius-3 circle inside the image, so every circle
+// sample indexes Pix directly without border clamping. The segment test
+// builds 16-bit brighter/darker masks and checks for a 9-run with bit
+// arithmetic instead of scanning the doubled circle.
+func (d *Detector) detectBand(im Image, y0, y1 int, out []Keypoint) []Keypoint {
+	thr := d.Threshold
+	// Circle offsets as flat strides into Pix.
+	var off [16]int
+	for k, o := range fastOffsets {
+		off[k] = o[1]*im.W + o[0]
 	}
-	cw := (w + cell - 1) / cell
-	grid := make(map[int]slot)
-	for i, kp := range kps {
-		key := int(kp.Y)/cell*cw + int(kp.X)/cell
-		if s, ok := grid[key]; !ok || kp.Response > s.resp {
-			grid[key] = slot{idx: i, resp: kp.Response}
+	for y := y0; y < y1; y++ {
+		row := y * im.W
+		for x := 3; x < im.W-3; x++ {
+			at := row + x
+			c := int(im.Pix[at])
+			hiT, loT := c+thr, c-thr
+			// Fast reject: a 9-run of the 16-circle must cover at least 2
+			// of the 4 compass points, so fewer than 2 strong compass
+			// differences (on both sides) cannot be a FAST-9 corner.
+			hi, lo := 0, 0
+			for _, k := range [4]int{0, 4, 8, 12} {
+				p := int(im.Pix[at+off[k]])
+				if p >= hiT {
+					hi++
+				} else if p <= loT {
+					lo++
+				}
+			}
+			if hi < 2 && lo < 2 {
+				continue
+			}
+			// Full segment test over brighter/darker circle masks.
+			var bright, dark uint32
+			for k := 0; k < 16; k++ {
+				p := int(im.Pix[at+off[k]])
+				if p >= hiT {
+					bright |= 1 << k
+				} else if p <= loT {
+					dark |= 1 << k
+				}
+			}
+			if !hasRun9(bright) && !hasRun9(dark) {
+				continue
+			}
+			resp := 0
+			for k := 0; k < 16; k++ {
+				p := int(im.Pix[at+off[k]])
+				if p-c > resp {
+					resp = p - c
+				} else if c-p > resp {
+					resp = c - p
+				}
+			}
+			out = append(out, Keypoint{X: float64(x), Y: float64(y), Response: resp})
 		}
-	}
-	// Emit winners in original detection order: map iteration order is
-	// randomized, and the strongest-response sort downstream breaks ties by
-	// position in this slice — feeding it map order would make the surviving
-	// keypoint set (and every pose estimate built on it) vary run to run.
-	idxs := make([]int, 0, len(grid))
-	for _, s := range grid {
-		idxs = append(idxs, s.idx)
-	}
-	sort.Ints(idxs)
-	out := make([]Keypoint, 0, len(idxs))
-	for _, i := range idxs {
-		out = append(out, kps[i])
 	}
 	return out
 }
 
-// describe computes the BRIEF-style descriptor at a keypoint.
+// suppress keeps only the strongest keypoint per cell x cell block (first
+// occurrence wins ties), compacting kps in place. Winners are emitted in
+// detection order: the strongest-response sort downstream breaks ties by
+// position in this slice, so feeding it any other order would make the
+// surviving keypoint set (and every pose estimate built on it) vary run to
+// run. The cell grid is a flat slice reused across frames.
+func (d *Detector) suppress(kps []Keypoint, w, h, cell int) []Keypoint {
+	cw := (w + cell - 1) / cell
+	ch := (h + cell - 1) / cell
+	grid := d.scratch.grid
+	if len(grid) < cw*ch {
+		grid = make([]int32, cw*ch)
+		d.scratch.grid = grid
+	}
+	grid = grid[:cw*ch]
+	for i := range grid {
+		grid[i] = -1
+	}
+	for i, kp := range kps {
+		key := int(kp.Y)/cell*cw + int(kp.X)/cell
+		if j := grid[key]; j < 0 || kp.Response > kps[j].Response {
+			grid[key] = int32(i)
+		}
+	}
+	n := 0
+	for i := range kps {
+		key := int(kps[i].Y)/cell*cw + int(kps[i].X)/cell
+		if grid[key] == int32(i) {
+			kps[n] = kps[i]
+			n++
+		}
+	}
+	return kps[:n]
+}
+
+// describeKp computes the BRIEF-style descriptor at a keypoint. Interior
+// keypoints (at least briefRadius from every border) sample Pix directly
+// through the precomputed flat strides in scratch; only border keypoints pay
+// for clamping via describe.
+func (d *Detector) describeKp(im Image, kp Keypoint) Descriptor {
+	x, y := int(kp.X), int(kp.Y)
+	if x < briefRadius || y < briefRadius || x >= im.W-briefRadius || y >= im.H-briefRadius {
+		return describe(im, kp)
+	}
+	var desc Descriptor
+	at := y*im.W + x
+	off := &d.scratch.briefOff
+	for i := range off {
+		if im.Pix[at+int(off[i][0])] > im.Pix[at+int(off[i][1])] {
+			desc[i/64] |= 1 << (i % 64)
+		}
+	}
+	return desc
+}
+
+// describe computes the BRIEF-style descriptor at a keypoint with border
+// clamping — the general path; interior keypoints take describeKp's
+// unclamped one.
 func describe(im Image, kp Keypoint) Descriptor {
 	var d Descriptor
 	x, y := int(kp.X), int(kp.Y)
@@ -217,12 +350,19 @@ func describe(im Image, kp Keypoint) Descriptor {
 
 // Match pairs keypoints in a with map descriptors in b by brute-force
 // Hamming distance with a ratio test. Returns index pairs (ia, ib).
+//
+// Accounting contract: Match charges stats.MatchingOps 16 ops (4 xor +
+// popcount word operations) per candidate pair it actually examines, counted
+// inside the search loop — not the nominal len(a)*len(b) — so the ledger
+// stays honest if the search is ever pruned.
 func Match(a []Keypoint, b []Descriptor, maxDist int, stats *Stats) [][2]int {
 	var out [][2]int
-	for i, ka := range a {
+	examined := uint64(0)
+	for i := range a {
 		best, second, bestJ := 257, 257, -1
 		for j := range b {
-			dist := HammingDistance(ka.Desc, b[j])
+			dist := HammingDistance(a[i].Desc, b[j])
+			examined++
 			if dist < best {
 				second = best
 				best, bestJ = dist, j
@@ -235,8 +375,7 @@ func Match(a []Keypoint, b []Descriptor, maxDist int, stats *Stats) [][2]int {
 		}
 	}
 	if stats != nil {
-		// 4 xor+popcount word ops ≈ 16 ops per candidate pair.
-		stats.MatchingOps += uint64(len(a)) * uint64(len(b)) * 16
+		stats.MatchingOps += examined * 16
 	}
 	return out
 }

@@ -23,6 +23,18 @@ func huberWeight(r, k float64) float64 {
 // feature extraction/matching, local BA, and global BA; tracking's
 // pose-only optimization is part of the front end, so its work lands in
 // MatchingOps' bucket alongside matching.
+//
+// Accounting contract: every kernel charges ops for work actually performed
+// on its inputs, not for work a naive implementation might have performed —
+// Detect charges per pixel scanned plus per descriptor built, Match charges
+// per descriptor pair examined, matchByProjection charges per projection
+// plus per windowed candidate tested, and BA charges per residual used, at
+// joint-solver equivalence. Optimizations that skip work (grids, early
+// outs) therefore reduce the ledger only when they skip modeled work, and
+// pure data-structure speedups (flat grids, scratch reuse, parallel
+// execution) leave it bit-identical. The retiming models depend on that:
+// the ledger is the workload definition, so it must be a deterministic
+// function of the pipeline inputs alone.
 type Stats struct {
 	FeatureExtractionOps uint64
 	MatchingOps          uint64

@@ -1,0 +1,55 @@
+package slam
+
+import "dronedse/mathx"
+
+// frameScratch is the System's reusable per-frame storage. Tracking runs
+// every frame and used to rebuild the same map-backed grids and match/inlier
+// slices each time; holding them here turns the per-frame cost into a handful
+// of slice resets after the first few frames. Buffers returned to callers
+// inside ProcessFrame are only valid for the current frame — everything that
+// outlives the frame (keyframe observations, map points) is copied out.
+//
+// The scratch is owned by exactly one goroutine (the System's caller), so
+// reuse does not affect the pool-size invariance of the pipeline output.
+type frameScratch struct {
+	// Local-map gather buffers (localMap).
+	lmSeen  map[int]bool
+	lmIDs   []int
+	lmDescs []Descriptor
+	lmPts   []mathx.Vec3
+
+	// Keypoint cell grid in CSR layout (matchByProjection): cellStart has
+	// one entry per cell plus a terminator; cellKp holds keypoint indices
+	// grouped by cell, each group in ascending index order; cellCur is the
+	// fill cursor.
+	cellStart []int32
+	cellCur   []int32
+	cellKp    []int32
+	usedKp    []bool
+	matches   [][2]int
+
+	// Tracking buffers (ProcessFrame): matched point/pixel arrays and the
+	// two-pass inlier set.
+	mpts     []mathx.Vec3
+	us, vs   []float64
+	inlier   []bool
+	ipts     []mathx.Vec3
+	ius, ivs []float64
+
+	// Projection candidates (fuseByProjection).
+	projs []projCand
+}
+
+// projCand is a local map point projected into the current frame.
+type projCand struct {
+	j    int
+	u, v float64
+}
+
+// grow returns buf resized to n, reallocating only when capacity is short.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
+}

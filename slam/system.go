@@ -41,6 +41,11 @@ type System struct {
 
 	// traj records the estimated pose per processed frame.
 	traj []Pose
+
+	// scratch holds the per-frame buffers tracking reuses across frames.
+	scratch frameScratch
+	// baScratch holds the adjacency buffers bundleAdjust reuses per call.
+	baScratch baScratch
 }
 
 // NewSystem builds the pipeline for a camera.
@@ -90,19 +95,25 @@ func (s *System) MapPointPositions() []mathx.Vec3 {
 // Trajectory returns the per-frame pose estimates.
 func (s *System) Trajectory() []Pose { return s.traj }
 
-// localMap gathers the map points observed by the last few keyframes.
+// localMap gathers the map points observed by the last few keyframes. The
+// returned slices are scratch-backed and valid until the next frame.
 func (s *System) localMap() (ids []int, descs []Descriptor, pts []mathx.Vec3) {
-	seen := map[int]bool{}
+	sc := &s.scratch
+	if sc.lmSeen == nil {
+		sc.lmSeen = make(map[int]bool, 1024)
+	}
+	clear(sc.lmSeen)
+	ids, descs, pts = sc.lmIDs[:0], sc.lmDescs[:0], sc.lmPts[:0]
 	lo := len(s.keyframes) - s.LocalWindow
 	if lo < 0 {
 		lo = 0
 	}
 	for _, kf := range s.keyframes[lo:] {
 		for _, ob := range kf.Obs {
-			if seen[ob.PointID] {
+			if sc.lmSeen[ob.PointID] {
 				continue
 			}
-			seen[ob.PointID] = true
+			sc.lmSeen[ob.PointID] = true
 			mp, ok := s.points[ob.PointID]
 			if !ok {
 				continue
@@ -112,6 +123,7 @@ func (s *System) localMap() (ids []int, descs []Descriptor, pts []mathx.Vec3) {
 			pts = append(pts, mp.Pos)
 		}
 	}
+	sc.lmIDs, sc.lmDescs, sc.lmPts = ids, descs, pts
 	return
 }
 
@@ -136,21 +148,27 @@ func (s *System) ProcessFrame(f dataset.Frame) Pose {
 		// relocalization path).
 		matches = Match(kps, descs, 50, &s.Stats)
 	}
-	var mpts []mathx.Vec3
-	var us, vs []float64
+	sc := &s.scratch
+	mpts := grow(sc.mpts, len(matches))[:0]
+	us, vs := grow(sc.us, len(matches))[:0], grow(sc.vs, len(matches))[:0]
 	for _, m := range matches {
 		mpts = append(mpts, pts[m[1]])
 		us = append(us, kps[m[0]].X)
 		vs = append(vs, kps[m[0]].Y)
 	}
+	sc.mpts, sc.us, sc.vs = mpts, us, vs
 	s.Stats.TrackedMatches += len(matches)
-	inlier := make([]bool, len(matches))
+	inlier := grow(sc.inlier, len(matches))
+	sc.inlier = inlier
+	for i := range inlier {
+		inlier[i] = false
+	}
 	if len(mpts) >= 6 {
 		// Two-pass robust tracking: optimize, reject gross outliers,
 		// re-optimize on the inlier set (ORB-SLAM's tracking scheme).
 		s.pose = OptimizePose(s.Cam, s.pose, mpts, us, vs, 5, &s.Stats)
-		var ipts []mathx.Vec3
-		var ius, ivs []float64
+		ipts := grow(sc.ipts, len(mpts))[:0]
+		ius, ivs := grow(sc.ius, len(mpts))[:0], grow(sc.ivs, len(mpts))[:0]
 		for i := range mpts {
 			ru, rv, ok := reprojErr(s.Cam, s.pose, mpts[i], us[i], vs[i])
 			if ok && ru*ru+rv*rv < 36 {
@@ -160,6 +178,7 @@ func (s *System) ProcessFrame(f dataset.Frame) Pose {
 				ivs = append(ivs, vs[i])
 			}
 		}
+		sc.ipts, sc.ius, sc.ivs = ipts, ius, ivs
 		if len(ipts) >= 6 {
 			s.pose = OptimizePose(s.Cam, s.pose, ipts, ius, ivs, 5, &s.Stats)
 		}
@@ -201,16 +220,46 @@ func (s *System) ProcessFrame(f dataset.Frame) Pose {
 // under the current pose estimate and paired with keypoints inside a small
 // search window by descriptor distance — ORB-SLAM's search-by-projection,
 // which keeps the front end cheap compared to bundle adjustment.
+//
+// The keypoint cell grid is a flat CSR index over scratch buffers (cell
+// start offsets plus a keypoint-index array) instead of a per-frame
+// map[int][]int; neighbor cells outside the grid are skipped, which matches
+// the map version exactly: projections are in-bounds, so an out-of-range
+// neighbor key either missed the map or wrapped to a cell at least one full
+// 16 px cell away — beyond the 10 px window — and contributed nothing. The
+// returned slice is scratch-backed and valid until the next frame.
 func (s *System) matchByProjection(kps []Keypoint, descs []Descriptor, pts []mathx.Vec3) [][2]int {
 	const cell = 16
 	cw := (s.Cam.Width + cell - 1) / cell
-	grid := make(map[int][]int) // cell -> keypoint indices
-	for i, kp := range kps {
-		key := int(kp.Y)/cell*cw + int(kp.X)/cell
-		grid[key] = append(grid[key], i)
+	ch := (s.Cam.Height + cell - 1) / cell
+	sc := &s.scratch
+	nc := cw * ch
+	start := grow(sc.cellStart, nc+1)
+	cur := grow(sc.cellCur, nc)
+	cellKp := grow(sc.cellKp, len(kps))
+	sc.cellStart, sc.cellCur, sc.cellKp = start, cur, cellKp
+	for i := range start {
+		start[i] = 0
 	}
-	usedKp := make(map[int]bool)
-	var out [][2]int
+	cellOf := func(kp *Keypoint) int { return int(kp.Y)/cell*cw + int(kp.X)/cell }
+	for i := range kps {
+		start[cellOf(&kps[i])+1]++
+	}
+	for c := 0; c < nc; c++ {
+		start[c+1] += start[c]
+		cur[c] = start[c]
+	}
+	for i := range kps { // ascending i per cell = map append order
+		c := cellOf(&kps[i])
+		cellKp[cur[c]] = int32(i)
+		cur[c]++
+	}
+	usedKp := grow(sc.usedKp, len(kps))
+	sc.usedKp = usedKp
+	for i := range usedKp {
+		usedKp[i] = false
+	}
+	out := sc.matches[:0]
 	candidates := 0
 	for j, pw := range pts {
 		pc := s.pose.WorldToCamera(pw)
@@ -220,9 +269,17 @@ func (s *System) matchByProjection(kps []Keypoint, descs []Descriptor, pts []mat
 		}
 		bestD, bestI := 61, -1
 		cu, cv := int(u)/cell, int(v)/cell
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				for _, i := range grid[(cv+dy)*cw+(cu+dx)] {
+		for cy := cv - 1; cy <= cv+1; cy++ {
+			if cy < 0 || cy >= ch {
+				continue
+			}
+			for cx := cu - 1; cx <= cu+1; cx++ {
+				if cx < 0 || cx >= cw {
+					continue
+				}
+				c := cy*cw + cx
+				for _, i32 := range cellKp[start[c]:start[c+1]] {
+					i := int(i32)
 					if usedKp[i] {
 						continue
 					}
@@ -242,6 +299,7 @@ func (s *System) matchByProjection(kps []Keypoint, descs []Descriptor, pts []mat
 			out = append(out, [2]int{bestI, j})
 		}
 	}
+	sc.matches = out
 	// Projection per point plus a Hamming test per windowed candidate.
 	s.Stats.MatchingOps += uint64(len(pts))*12 + uint64(candidates)*16
 	return out
@@ -256,11 +314,7 @@ func (s *System) fuseByProjection(kps []Keypoint, ids []int, descs []Descriptor,
 	for _, pid := range matchedByKp {
 		taken[pid] = true
 	}
-	type proj struct {
-		j    int
-		u, v float64
-	}
-	var projs []proj
+	projs := s.scratch.projs[:0]
 	for j, pw := range pts {
 		if taken[ids[j]] {
 			continue
@@ -270,8 +324,9 @@ func (s *System) fuseByProjection(kps []Keypoint, ids []int, descs []Descriptor,
 		if !ok {
 			continue
 		}
-		projs = append(projs, proj{j, u, v})
+		projs = append(projs, projCand{j, u, v})
 	}
+	s.scratch.projs = projs
 	for i, kp := range kps {
 		if _, ok := matchedByKp[i]; ok {
 			continue
