@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-slam bench-json ci
+.PHONY: all build vet test race bench-smoke bench-slam bench-fault bench-json ci
 
 all: build
 
@@ -33,8 +33,16 @@ bench-smoke:
 bench-slam:
 	$(GO) test ./slam/ -run '^$$' -bench 'BenchmarkDetect|BenchmarkMatchByProjection|BenchmarkBundleAdjustLocal' -benchtime 5x
 
+# Fault-campaign smoke: the faultx acceptance tests (pool-invariance,
+# severe-scenario degradation, fault-free bit-identity) under the race
+# detector, plus a two-scenario CLI campaign, so fault-injection regressions
+# surface in CI.
+bench-fault:
+	$(GO) test -race ./faultx/ -run 'TestCampaignPoolInvariance|TestSevereScenario|TestFaultFreeBitIdentical'
+	$(GO) run ./cmd/faultcamp -procs 2 -seconds 120 >/dev/null
+
 # Perf trajectory artifact: BENCH_core.json (ns/op, allocs/op per pool size).
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_core.json
 
-ci: vet build race bench-smoke bench-slam
+ci: vet build race bench-smoke bench-slam bench-fault

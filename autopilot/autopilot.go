@@ -115,16 +115,23 @@ type Autopilot struct {
 	trajT0 float64
 	follow FollowConfig
 
-	fence     Geofence
-	energy    EnergyPolicy
-	avgPowerW float64
-	lastEvent string
-	staged    []Waypoint
+	fence       Geofence
+	energy      EnergyPolicy
+	avgPowerW   float64
+	lastEvent   string
+	staged      []Waypoint
+	missionDone bool
 
 	steps     int
 	physicsHz float64
 	lastIMU   sensors.IMUSample
 	prevVel   mathx.Vec3
+
+	// faults, when non-nil, reports declared fault conditions (GPS denial
+	// windows) the failsafe monitor escalates on.
+	faults      FaultSignals
+	gpsDenied   bool
+	gpsDeniedAt float64
 
 	// OnStep, when set, observes every physics step (power traces).
 	OnStep func(a *Autopilot, dt float64)
@@ -160,6 +167,25 @@ func New(cfg Config) (*Autopilot, error) {
 	}
 	return a, nil
 }
+
+// FaultSignals is the autopilot's view of declared fault conditions
+// (implemented by faultx.Injector). The autopilot polls it every physics
+// step; a nil interface or an all-clear answer leaves behavior untouched.
+type FaultSignals interface {
+	// GPSDenied reports whether GPS is denied (jammed, indoors) at time t.
+	GPSDenied(t float64) bool
+}
+
+// SetFaultSignals installs (or, with nil, removes) the declared-fault
+// source the failsafe monitor consumes.
+func (a *Autopilot) SetFaultSignals(fs FaultSignals) { a.faults = fs }
+
+// Suite exposes the sensor suite so fault injectors can install their
+// sensors.FaultView and tests can inspect the sensors.
+func (a *Autopilot) Suite() *sensors.Suite { return a.suite }
+
+// Estimator exposes the fusion stack (read-mostly; tests and telemetry).
+func (a *Autopilot) Estimator() *estimation.Estimator { return a.est }
 
 // Mode returns the current flight mode.
 func (a *Autopilot) Mode() Mode { return a.mode }
@@ -228,9 +254,15 @@ func (a *Autopilot) StartMission() error {
 		return fmt.Errorf("autopilot: start mission from HOVER, not %v", a.mode)
 	}
 	a.wpIndex = 0
+	a.missionDone = false
 	a.mode = Mission
 	return nil
 }
+
+// MissionCompleted reports whether the last started mission visited every
+// waypoint (fault campaigns use it to separate a completed mission from a
+// failsafe abort).
+func (a *Autopilot) MissionCompleted() bool { return a.missionDone }
 
 // CommandLand requests a descent to touchdown.
 func (a *Autopilot) CommandLand() { a.mode = Land }
@@ -278,6 +310,7 @@ func (a *Autopilot) targets() control.Targets {
 				a.wpIndex++
 				if a.wpIndex >= len(a.mission) {
 					a.wpIndex = len(a.mission) - 1
+					a.missionDone = true
 					a.mode = ReturnToLaunch
 				}
 			}
@@ -336,30 +369,48 @@ func (a *Autopilot) Step() {
 	// control step (flight controllers clock the gyro at the loop rate;
 	// Table 2a's 100-200 Hz is the fused output rate).
 	now := a.quad.Time()
+
+	// Declared-fault edge detection: a GPS denial window switches the
+	// estimator into coasting (covariance inflation, no GPS ingestion)
+	// and starts the failsafe escalation clock.
+	if a.faults != nil {
+		if denied := a.faults.GPSDenied(now); denied != a.gpsDenied {
+			a.gpsDenied = denied
+			a.est.DeclareOutage(sensors.SensorGPS, denied)
+			if denied {
+				a.gpsDeniedAt = now
+				a.lastEvent = "gps denied: coasting"
+			} else {
+				a.lastEvent = "gps recovered"
+			}
+		}
+	}
+
 	accelWorld := trueState.Vel.Sub(a.prevVel).Scale(a.physicsHz)
 	a.prevVel = trueState.Vel
-	if a.suite.IMU.Due(now) {
-		a.lastIMU = a.suite.IMU.Sample(trueState, accelWorld)
+	if imu, ok := a.suite.SampleIMU(now, trueState, accelWorld); ok {
+		a.lastIMU = imu
 		a.est.OnIMU(a.lastIMU, 1/a.suite.IMU.RateHz)
 	} else {
 		// fast gyro path for the rate loop
 		a.lastIMU.Gyro = trueState.Omega.Add(mathx.V3(
 			a.rng.NormFloat64(), a.rng.NormFloat64(), a.rng.NormFloat64()).Scale(0.003))
 	}
-	if a.suite.GPS.Due(now) {
-		a.est.OnGPS(a.suite.GPS.Sample(trueState))
+	if fix, ok := a.suite.SampleGPS(now, trueState); ok {
+		a.est.OnGPS(fix)
 	}
-	if a.suite.Baro.Due(now) {
-		a.est.OnBaro(a.suite.Baro.SampleAltitude(trueState))
+	if alt, ok := a.suite.SampleBaro(now, trueState); ok {
+		a.est.OnBaro(alt)
 	}
-	if a.suite.Mag.Due(now) {
-		a.est.OnMag(a.suite.Mag.SampleYaw(trueState), 1/a.suite.Mag.RateHz)
+	if yaw, ok := a.suite.SampleMagYaw(now, trueState); ok {
+		a.est.OnMag(yaw, 1/a.suite.Mag.RateHz)
 	}
 
 	// Battery failsafe (outer-loop decision, Table 1: flight time
 	// management).
 	if a.battery != nil && a.battery.Drained() &&
 		a.mode != Land && a.mode != Disarmed && a.mode != Failsafe {
+		a.lastEvent = "battery drained: failsafe land"
 		a.mode = Failsafe
 	}
 

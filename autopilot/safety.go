@@ -119,6 +119,16 @@ func RemainingOrInf(v float64) float64 {
 	return v
 }
 
+// GPS-denial failsafe thresholds: once a declared denial has both lasted
+// past the grace period and inflated the horizontal position uncertainty
+// beyond the limit, the autopilot stops trusting the mission geometry and
+// returns home on the coasting estimate (ArduCopter's EKF failsafe makes
+// the same escalation).
+const (
+	gpsDenialGraceS      = 3.0
+	gpsUncertaintyLimitM = 6.0
+)
+
 // crashTiltRad is the crash-check attitude threshold: a quadrotor past
 // ~75 degrees of tilt while the controller is demanding level flight is
 // unrecoverable; the check disarms to stop the motors (ArduCopter's crash
@@ -147,6 +157,16 @@ func (a *Autopilot) checkSafety() {
 		a.lastEvent = "geofence breach: RTL"
 		a.mode = ReturnToLaunch
 		return
+	}
+	// GPS-denial escalation: coasting is fine for a few seconds, but a
+	// sustained denial with a diverging estimate ends the mission.
+	if a.gpsDenied && a.mode != ReturnToLaunch {
+		if a.Time()-a.gpsDeniedAt > gpsDenialGraceS &&
+			a.est.Pos.PositionUncertainty() > gpsUncertaintyLimitM {
+			a.lastEvent = "gps denied, estimate degraded: RTL"
+			a.mode = ReturnToLaunch
+			return
+		}
 	}
 	if a.energy.Enabled && a.battery != nil && a.mode != ReturnToLaunch {
 		if a.RemainingEnergyWh() < a.EstimatedReturnEnergyWh()*a.energy.Reserve {

@@ -21,6 +21,7 @@ import (
 	"dronedse/bench"
 	"dronedse/core"
 	"dronedse/dataset"
+	"dronedse/faultx"
 	"dronedse/parallelx"
 	"dronedse/slam"
 )
@@ -179,6 +180,19 @@ func main() {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			slam.RunSequence(seq)
+		}
+	})
+
+	// Fault-campaign kernel: two full closed-loop flights (fault-free
+	// baseline + severe compound) per op. Scales with the pool because the
+	// flights are independent; the campaign table itself is pool-invariant.
+	measure("fault_campaign", []int{1, 2}, func(b *testing.B) {
+		scenarios := []faultx.Scenario{faultx.SevereScenario(1)}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := faultx.Run(scenarios, faultx.Config{MaxSeconds: 120}); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 

@@ -203,6 +203,39 @@ func (k *PosVelEKF) UpdateBaro(alt float64, std float64) {
 	k.update([]int{2}, []float64{alt}, []float64{std * std})
 }
 
+// InflateCovariance scales the covariance by factor (> 1 grows the
+// uncertainty). Coasting through a declared sensor outage inflates instead
+// of fusing, so the filter's confidence honestly decays and the first
+// post-outage measurements are accepted rather than gated away.
+func (k *PosVelEKF) InflateCovariance(factor float64) {
+	if factor <= 1 {
+		return
+	}
+	k.p = k.p.Scale(factor)
+	k.p.Symmetrize()
+}
+
+// AddCoastVariance adds posVar to the horizontal position variances and
+// velVar to the horizontal velocity variances. Coasting uses it to model
+// the systematic dead-reckoning drift (attitude error tilting gravity into
+// the horizontal) that zero-mean process noise cannot represent.
+func (k *PosVelEKF) AddCoastVariance(posVar, velVar float64) {
+	if posVar > 0 {
+		k.p.Addf(0, 0, posVar)
+		k.p.Addf(1, 1, posVar)
+	}
+	if velVar > 0 {
+		k.p.Addf(3, 3, velVar)
+		k.p.Addf(4, 4, velVar)
+	}
+}
+
+// PositionUncertainty returns the 1-sigma horizontal position uncertainty —
+// the health signal an autopilot failsafe watches during GPS dropouts.
+func (k *PosVelEKF) PositionUncertainty() float64 {
+	return math.Sqrt(math.Max(k.p.At(0, 0), k.p.At(1, 1)))
+}
+
 // Position returns the position estimate.
 func (k *PosVelEKF) Position() mathx.Vec3 { return mathx.V3(k.x[0], k.x[1], k.x[2]) }
 
@@ -212,16 +245,72 @@ func (k *PosVelEKF) Velocity() mathx.Vec3 { return mathx.V3(k.x[3], k.x[4], k.x[
 // Covariance returns a copy of the covariance matrix (tests and telemetry).
 func (k *PosVelEKF) Covariance() *mathx.Dense { return k.p.Clone() }
 
+// coastInflationPerS is the covariance growth rate applied while coasting
+// through a declared outage: ~5%/s of extra uncertainty on top of the
+// normal process noise, so minute-long denials do not blow the filter up
+// numerically but the uncertainty signal still rises monotonically.
+const coastInflationPerS = 0.05
+
+// coastDriftAccelMS2 is the 1-sigma uncompensated horizontal acceleration
+// while dead-reckoning without GPS: a degree or two of attitude error tilts
+// gravity into the horizontal (g·sin 2.5° ≈ 0.4 m/s²), and nothing corrects
+// it until position measurements return. The resulting 0.5·a·t² position
+// drift is the dominant coasting error, so the covariance must grow at that
+// rate for PositionUncertainty to be an honest failsafe signal.
+const coastDriftAccelMS2 = 0.4
+
 // Estimator couples the attitude filter and the EKF into the full fusion
 // stack consumed by the autopilot.
 type Estimator struct {
 	Att *AttitudeFilter
 	Pos *PosVelEKF
+
+	// declared sensor outages: while set, the corresponding measurements
+	// are refused (stuck samples must not be ingested) and the EKF coasts
+	// with covariance inflation.
+	gpsOut  bool
+	baroOut bool
+	magOut  bool
+	// coastS is how long the GPS outage has been running (drift clock).
+	coastS float64
+	// Rejected counts measurements refused because of a declared outage.
+	Rejected int
 }
 
 // NewEstimator builds the default estimator.
 func NewEstimator() *Estimator {
 	return &Estimator{Att: NewAttitudeFilter(), Pos: NewPosVelEKF()}
+}
+
+// DeclareOutage marks a sensor (sensors.SensorGPS/SensorBaro/SensorMag) as
+// known-bad or recovered. While declared, the estimator coasts: it refuses
+// that sensor's measurements and inflates the covariance instead, which is
+// the graceful-degradation contract fault injection tests against.
+func (e *Estimator) DeclareOutage(sensor string, active bool) {
+	switch sensor {
+	case sensors.SensorGPS:
+		e.gpsOut = active
+		if !active {
+			e.coastS = 0
+		}
+	case sensors.SensorBaro:
+		e.baroOut = active
+	case sensors.SensorMag:
+		e.magOut = active
+	}
+}
+
+// OutageActive reports whether the named sensor is in a declared outage.
+func (e *Estimator) OutageActive(sensor string) bool {
+	switch sensor {
+	case sensors.SensorGPS:
+		return e.gpsOut
+	case sensors.SensorBaro:
+		return e.baroOut
+	case sensors.SensorMag:
+		return e.magOut
+	}
+	return false
 }
 
 // OnIMU processes one IMU sample: attitude prediction/correction plus EKF
@@ -231,13 +320,43 @@ func (e *Estimator) OnIMU(s sensors.IMUSample, dt float64) {
 	e.Att.CorrectAccel(s.Accel, dt)
 	accelWorld := e.Att.Attitude().Rotate(s.Accel).Sub(mathx.V3(0, 0, units.Gravity))
 	e.Pos.Predict(accelWorld, dt)
+	if e.gpsOut {
+		e.Pos.InflateCovariance(1 + coastInflationPerS*dt)
+		// Systematic dead-reckoning drift: std grows as 0.5·a·t² in
+		// position and a·t in velocity; add the per-step variance delta.
+		prev := e.coastS
+		e.coastS += dt
+		posStep := sq(0.5*coastDriftAccelMS2*e.coastS*e.coastS) - sq(0.5*coastDriftAccelMS2*prev*prev)
+		velStep := sq(coastDriftAccelMS2*e.coastS) - sq(coastDriftAccelMS2*prev)
+		e.Pos.AddCoastVariance(posStep, velStep)
+	}
 }
 
-// OnGPS fuses a GPS fix.
-func (e *Estimator) OnGPS(fix sensors.GPSSample) { e.Pos.UpdateGPS(fix, 0.8, 0.1) }
+func sq(v float64) float64 { return v * v }
 
-// OnBaro fuses a barometric altitude.
-func (e *Estimator) OnBaro(alt float64) { e.Pos.UpdateBaro(alt, 0.15) }
+// OnGPS fuses a GPS fix unless a GPS outage is declared.
+func (e *Estimator) OnGPS(fix sensors.GPSSample) {
+	if e.gpsOut {
+		e.Rejected++
+		return
+	}
+	e.Pos.UpdateGPS(fix, 0.8, 0.1)
+}
 
-// OnMag fuses a magnetometer yaw.
-func (e *Estimator) OnMag(yaw float64, dt float64) { e.Att.CorrectYaw(yaw, dt) }
+// OnBaro fuses a barometric altitude unless a barometer outage is declared.
+func (e *Estimator) OnBaro(alt float64) {
+	if e.baroOut {
+		e.Rejected++
+		return
+	}
+	e.Pos.UpdateBaro(alt, 0.15)
+}
+
+// OnMag fuses a magnetometer yaw unless a magnetometer outage is declared.
+func (e *Estimator) OnMag(yaw float64, dt float64) {
+	if e.magOut {
+		e.Rejected++
+		return
+	}
+	e.Att.CorrectYaw(yaw, dt)
+}

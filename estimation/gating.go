@@ -1,8 +1,6 @@
 package estimation
 
 import (
-	"math"
-
 	"dronedse/mathx"
 	"dronedse/sensors"
 )
@@ -59,12 +57,6 @@ func (g *GatedEKF) UpdateBaro(alt, std float64) {
 	}
 	g.Accepted++
 	g.PosVelEKF.UpdateBaro(alt, std)
-}
-
-// PositionUncertainty returns the 1-sigma horizontal position uncertainty —
-// the health signal an autopilot failsafe watches during GPS dropouts.
-func (g *GatedEKF) PositionUncertainty() float64 {
-	return math.Sqrt(math.Max(g.p.At(0, 0), g.p.At(1, 1)))
 }
 
 // GlitchGPS corrupts a fix the way multipath does: a position jump of

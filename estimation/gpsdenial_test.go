@@ -1,0 +1,105 @@
+package estimation
+
+import (
+	"testing"
+
+	"dronedse/mathx"
+	"dronedse/sensors"
+	"dronedse/units"
+)
+
+// TestGPSDenialCoastAndRecover is the graceful-degradation contract, table
+// driven over denial lengths: while a GPS outage is declared the estimator
+// must refuse GPS, grow its uncertainty monotonically at a rate covering
+// the real dead-reckoning drift (bounded, not exploding), and once GPS
+// returns it must re-converge within a fixed horizon.
+//
+// The synthetic truth is a hover at the origin; an uncorrected 0.35 m/s²
+// accelerometer bias plays the attitude error that makes real coasting
+// drift quadratically.
+func TestGPSDenialCoastAndRecover(t *testing.T) {
+	cases := []struct {
+		name    string
+		denialS float64
+	}{
+		{"short-2s", 2},
+		{"medium-5s", 5},
+		{"long-10s", 10},
+	}
+	const (
+		dt       = 1.0 / 200
+		denStart = 5.0
+		recoverS = 2.0
+	)
+	bias := mathx.V3(0.25, -0.25, 0) // |bias| ≈ 0.35 m/s²
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEstimator()
+			denEnd := denStart + tc.denialS
+			endT := denEnd + recoverS
+			prevUnc, maxCoastErr, uncAtDenialEnd := 0.0, 0.0, 0.0
+			rejectedBefore := 0
+			for step := 0; float64(step)*dt < endT; step++ {
+				now := float64(step) * dt
+				denied := now >= denStart && now < denEnd
+				if denied != e.OutageActive(sensors.SensorGPS) {
+					e.DeclareOutage(sensors.SensorGPS, denied)
+					if denied {
+						prevUnc = 0
+						rejectedBefore = e.Rejected
+					} else {
+						uncAtDenialEnd = e.Pos.PositionUncertainty()
+					}
+				}
+				accel := mathx.V3(0, 0, units.Gravity)
+				if denied {
+					accel = accel.Add(bias) // uncorrected error while coasting
+				}
+				e.OnIMU(sensors.IMUSample{Accel: accel}, dt)
+				if step%20 == 0 { // 10 Hz GPS at the origin, denied or not
+					e.OnGPS(sensors.GPSSample{})
+				}
+				if step%10 == 0 { // 20 Hz baro
+					e.OnBaro(0)
+				}
+				if denied {
+					unc := e.Pos.PositionUncertainty()
+					if unc < prevUnc-1e-9 {
+						t.Fatalf("uncertainty shrank while coasting at t=%.2f: %v -> %v", now, prevUnc, unc)
+					}
+					prevUnc = unc
+					if errM := e.Pos.Position().Norm(); errM > maxCoastErr {
+						maxCoastErr = errM
+					}
+				}
+			}
+			// GPS during the declared outage must be refused, and counted.
+			if e.Rejected == rejectedBefore {
+				t.Error("no GPS measurements were rejected during the declared outage")
+			}
+			// Coast error stays inside the drift envelope: 0.5·a·t² for
+			// the injected bias, doubled for transient margin.
+			bound := 0.5 * 0.35 * tc.denialS * tc.denialS * 2
+			if bound < 1 {
+				bound = 1
+			}
+			if maxCoastErr > bound {
+				t.Errorf("coast error %.2f m exceeds drift envelope %.2f m", maxCoastErr, bound)
+			}
+			// The uncertainty signal must have covered a meaningful share
+			// of the worst real error — it is the failsafe's health input.
+			if uncAtDenialEnd < maxCoastErr/4 {
+				t.Errorf("uncertainty %.2f m dishonestly small against %.2f m real error",
+					uncAtDenialEnd, maxCoastErr)
+			}
+			// Re-convergence: after recoverS of restored GPS the estimate
+			// must be back at the truth with confidence restored.
+			if errM := e.Pos.Position().Norm(); errM > 0.5 {
+				t.Errorf("position error %.2f m after %.0f s of restored GPS", errM, recoverS)
+			}
+			if unc := e.Pos.PositionUncertainty(); unc > uncAtDenialEnd/2 || unc > 2 {
+				t.Errorf("uncertainty %.2f m did not re-converge (was %.2f m)", unc, uncAtDenialEnd)
+			}
+		})
+	}
+}

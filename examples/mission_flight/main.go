@@ -89,6 +89,7 @@ func main() {
 	}
 	ap.RunUntil(func(a *autopilot.Autopilot) bool { return a.Mode() == autopilot.Disarmed }, 120)
 	conn.Close()
+	gs.Shutdown()
 	if err := <-done; err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,345 @@
+package faultx
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"dronedse/autopilot"
+	"dronedse/groundstation"
+	"dronedse/mathx"
+	"dronedse/offload"
+	"dronedse/parallelx"
+	"dronedse/power"
+	"dronedse/sim"
+	"dronedse/slam"
+)
+
+// Scenario is one campaign entry: a seed, a fault plan, and the telemetry
+// link's loss profile.
+type Scenario struct {
+	Name string
+	Seed int64
+	Plan Plan
+	// Link mangles the telemetry stream to the ground station (zero =
+	// clean link).
+	Link LinkLoss
+}
+
+// LinkLoss is the telemetry LossyLink's probability profile.
+type LinkLoss struct {
+	Drop, Corrupt, Dup, Trunc, Reorder float64
+}
+
+// Outcome classifies how a scenario flight ended.
+type Outcome string
+
+// Outcomes, from best to worst.
+const (
+	// OutcomeCompleted: every waypoint visited, landed, disarmed.
+	OutcomeCompleted Outcome = "completed"
+	// OutcomeRTL: a failsafe (or mission abort) brought the vehicle home
+	// before the mission finished, but it landed intact.
+	OutcomeRTL Outcome = "rtl"
+	// OutcomeLanded: a failsafe landed in place (battery drained).
+	OutcomeLanded Outcome = "landed"
+	// OutcomeTimeout: still airborne when the campaign clock expired.
+	OutcomeTimeout Outcome = "timeout"
+	// OutcomeCrashed: the crash check fired; the vehicle is down hard.
+	OutcomeCrashed Outcome = "crashed"
+)
+
+// Config shapes every flight in a campaign. The zero value flies the
+// flysim reference mission (the box at 5 m on a 3S/3000 pack) for up to
+// 240 simulated seconds.
+type Config struct {
+	// MaxSeconds bounds each flight (default 240).
+	MaxSeconds float64
+	// TakeoffAltM (default 5) and the box mission derived from it match
+	// cmd/flysim, so the fault-free row is bit-identical to flysim.
+	TakeoffAltM float64
+	// BaseComputeW is the autopilot-board draw before the offload
+	// session's share (default 3.39 + 0.75, the flysim RPi + Navio2).
+	BaseComputeW float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSeconds <= 0 {
+		c.MaxSeconds = 240
+	}
+	if c.TakeoffAltM <= 0 {
+		c.TakeoffAltM = 5
+	}
+	if c.BaseComputeW <= 0 {
+		c.BaseComputeW = 3.39 + 0.75
+	}
+	return c
+}
+
+// Result is one row of the campaign table.
+type Result struct {
+	Scenario    string  `json:"scenario"`
+	Seed        int64   `json:"seed"`
+	Outcome     Outcome `json:"outcome"`
+	FlightTimeS float64 `json:"flight_time_s"`
+	// DeltaFlightTimeS is FlightTimeS minus the fault-free flight at the
+	// same seed (zero for the baseline row itself).
+	DeltaFlightTimeS float64 `json:"delta_flight_time_s"`
+	// MaxPathDivM is the largest true-position divergence from the
+	// fault-free trajectory, sampled at 10 Hz over the common duration.
+	MaxPathDivM float64 `json:"max_path_divergence_m"`
+	// MaxEstErrM is the worst estimator error (|estimate - truth|) seen
+	// while airborne — the coasting/degradation signal.
+	MaxEstErrM float64 `json:"max_est_err_m"`
+	EnergyWh   float64 `json:"energy_wh"`
+	// Offload session accounting.
+	Fallbacks  int `json:"offload_fallbacks"`
+	Recoveries int `json:"offload_recoveries"`
+	// Ground-station accounting over the (possibly lossy) telemetry link.
+	TelemetryFrames  int    `json:"telemetry_frames"`
+	TelemetryDropped int    `json:"telemetry_chunks_dropped"`
+	LastEvent        string `json:"last_event"`
+}
+
+// Campaign is a full run: the per-seed fault-free baselines plus one row
+// per scenario.
+type Campaign struct {
+	Baselines []Result `json:"baselines"`
+	Results   []Result `json:"results"`
+}
+
+// runOut carries a Result plus the data needed for baseline comparison.
+type runOut struct {
+	res  Result
+	traj []mathx.Vec3 // true position at 10 Hz
+}
+
+// campaignSLAMStats is the fixed per-mission SLAM ledger the offload
+// session prices (a mid-size visual-SLAM frame budget; the exact numbers
+// only scale the latency model, not the control loop).
+func campaignSLAMStats() slam.Stats {
+	return slam.Stats{FeatureExtractionOps: 40e6, MatchingOps: 20e6, LocalBAOps: 30e6, Frames: 100}
+}
+
+// Run flies the fault-free baseline for every distinct seed, then every
+// scenario, fanning the independent flights across the parallelx pool.
+// Results are ordered like the input regardless of pool size, and every
+// flight is seed-deterministic, so the campaign table is byte-identical at
+// any pool size.
+func Run(scenarios []Scenario, cfg Config) (*Campaign, error) {
+	cfg = cfg.withDefaults()
+	for _, sc := range scenarios {
+		if err := sc.Plan.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+	}
+	// Distinct seeds in first-appearance order.
+	var seeds []int64
+	seen := map[int64]bool{}
+	for _, sc := range scenarios {
+		if !seen[sc.Seed] {
+			seen[sc.Seed] = true
+			seeds = append(seeds, sc.Seed)
+		}
+	}
+	baseRuns := parallelx.Map(seeds, func(seed int64) runOut {
+		return runOne(Scenario{Name: "baseline", Seed: seed}, cfg)
+	})
+	baseBySeed := make(map[int64]runOut, len(seeds))
+	c := &Campaign{}
+	for _, b := range baseRuns {
+		baseBySeed[b.res.Seed] = b
+		c.Baselines = append(c.Baselines, b.res)
+	}
+	runs := parallelx.Map(scenarios, func(sc Scenario) runOut {
+		return runOne(sc, cfg)
+	})
+	for _, r := range runs {
+		base := baseBySeed[r.res.Seed]
+		r.res.DeltaFlightTimeS = r.res.FlightTimeS - base.res.FlightTimeS
+		r.res.MaxPathDivM = maxDivergence(r.traj, base.traj)
+		c.Results = append(c.Results, r.res)
+	}
+	return c, nil
+}
+
+// maxDivergence is the largest pointwise distance over the common prefix.
+func maxDivergence(a, b []mathx.Vec3) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		if d := a[i].Sub(b[i]).Norm(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// runOne flies a single scenario closed-loop: the flysim stack plus the
+// injector, an offload session polling the injected link, and telemetry
+// streamed through a LossyLink into a ground station.
+func runOne(sc Scenario, cfg Config) runOut {
+	q, err := sim.NewQuad(sim.DefaultConfig())
+	if err != nil {
+		panic(err) // static config; cannot fail
+	}
+	env := sim.NewEnvironment(sc.Seed)
+	q.SetEnvironment(env)
+	pack, err := power.NewPack(3, 3000, 30)
+	if err != nil {
+		panic(err)
+	}
+	ap, err := autopilot.New(autopilot.Config{
+		Quad: q, Battery: pack, ComputeW: cfg.BaseComputeW,
+		TakeoffAltM: cfg.TakeoffAltM, Seed: sc.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ap.SetEnergyPolicy(autopilot.DefaultEnergyPolicy())
+
+	inj, err := NewInjector(sc.Plan, sc.Seed)
+	if err != nil {
+		panic(err) // validated by Run
+	}
+	inj.Bind(q, pack, env)
+	ap.Suite().Faults = inj
+	ap.SetFaultSignals(inj)
+
+	sess, err := offload.NewSession(offload.SessionConfig{
+		Link: offload.WiFi5GHz(), Node: offload.GroundStationGPU(),
+		W: offload.SLAMWorkload(), OnboardW: 2.0, OnboardG: 50, Seed: sc.Seed,
+	}, campaignSLAMStats())
+	if err != nil {
+		panic(err)
+	}
+	sess.SetProbe(inj)
+
+	link := NewLossyLink(sc.Seed + 1)
+	link.DropProb, link.CorruptProb = sc.Link.Drop, sc.Link.Corrupt
+	link.DupProb, link.TruncProb = sc.Link.Dup, sc.Link.Trunc
+	link.ReorderProb = sc.Link.Reorder
+	gs := groundstation.New(nil)
+
+	var flog autopilot.FlightLog
+	ap.AttachFlightLog(&flog)
+
+	out := runOut{}
+	energyWh := 0.0
+	maxEstErr := 0.0
+	var seq uint8
+	steps := 0
+	prev := ap.OnStep
+	ap.OnStep = func(a *autopilot.Autopilot, dt float64) {
+		if prev != nil {
+			prev(a, dt)
+		}
+		t := a.Time()
+		if steps%10 == 0 { // 100 Hz: physical fault effects
+			inj.Apply(t)
+		}
+		if steps%100 == 0 { // 10 Hz: offload retry loop + trajectory tap
+			sess.Step(t)
+			a.SetComputeW(cfg.BaseComputeW + sess.AirborneW())
+			out.traj = append(out.traj, a.Quad().State().Pos)
+			if a.Mode() != autopilot.Disarmed {
+				if e := a.EstimatedState().Pos.Sub(a.Quad().State().Pos).Norm(); e > maxEstErr {
+					maxEstErr = e
+				}
+			}
+		}
+		if steps%250 == 0 { // 4 Hz telemetry through the lossy link
+			if raw, err := a.Telemetry(&seq); err == nil {
+				if got := link.Transmit(raw); len(got) > 0 {
+					gs.Consume(got)
+				}
+			}
+		}
+		energyWh += a.TotalPowerW() * dt / 3600
+		steps++
+	}
+
+	mission := autopilot.MissionPlan{
+		{Pos: mathx.V3(12, 0, cfg.TakeoffAltM+1), HoldS: 1},
+		{Pos: mathx.V3(12, 12, cfg.TakeoffAltM+3), HoldS: 1},
+		{Pos: mathx.V3(0, 12, cfg.TakeoffAltM+1), HoldS: 1},
+	}
+	if err := ap.LoadMission(mission); err != nil {
+		panic(err)
+	}
+	if err := ap.Arm(); err == nil {
+		if ap.RunUntil(func(a *autopilot.Autopilot) bool { return a.Mode() != autopilot.Takeoff }, 30) &&
+			ap.Mode() == autopilot.Hover {
+			ap.StartMission()
+		}
+		ap.RunUntil(func(a *autopilot.Autopilot) bool { return a.Mode() == autopilot.Disarmed },
+			cfg.MaxSeconds-ap.Time())
+	}
+	if tail := link.Transmit(link.Flush()); len(tail) > 0 {
+		gs.Consume(tail)
+	}
+
+	out.res = Result{
+		Scenario:         sc.Name,
+		Seed:             sc.Seed,
+		Outcome:          classify(ap, &flog, cfg),
+		FlightTimeS:      ap.Time(),
+		MaxEstErrM:       maxEstErr,
+		EnergyWh:         energyWh,
+		Fallbacks:        sess.Fallbacks,
+		Recoveries:       sess.Recoveries,
+		TelemetryFrames:  gs.State().Frames,
+		TelemetryDropped: link.Stats.Dropped,
+		LastEvent:        ap.LastEvent(),
+	}
+	return out
+}
+
+// classify reads the flight's end state and event log into an Outcome.
+func classify(ap *autopilot.Autopilot, flog *autopilot.FlightLog, cfg Config) Outcome {
+	for _, e := range flog.Events() {
+		if strings.Contains(e.Text, "crash detected") {
+			return OutcomeCrashed
+		}
+	}
+	if ap.Mode() != autopilot.Disarmed {
+		return OutcomeTimeout
+	}
+	if ap.MissionCompleted() {
+		return OutcomeCompleted
+	}
+	for _, e := range flog.Events() {
+		if strings.Contains(e.Text, "failsafe land") {
+			return OutcomeLanded
+		}
+	}
+	return OutcomeRTL
+}
+
+// Table renders the campaign as a fixed-width text table. The format is
+// fully determined by the results, so equal campaigns render byte-equal.
+func (c *Campaign) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %6s %-10s %9s %9s %9s %8s %7s %5s %5s  %s\n",
+		"scenario", "seed", "outcome", "flight_s", "dflight_s", "pathdiv_m",
+		"esterr_m", "Wh", "fall", "recov", "last_event")
+	row := func(r Result) {
+		fmt.Fprintf(&b, "%-18s %6d %-10s %9.2f %9.2f %9.2f %8.2f %7.2f %5d %5d  %s\n",
+			r.Scenario, r.Seed, r.Outcome, r.FlightTimeS, r.DeltaFlightTimeS,
+			r.MaxPathDivM, r.MaxEstErrM, r.EnergyWh, r.Fallbacks, r.Recoveries,
+			r.LastEvent)
+	}
+	for _, r := range c.Baselines {
+		row(r)
+	}
+	for _, r := range c.Results {
+		row(r)
+	}
+	return b.String()
+}
+
+// JSON renders the campaign as indented JSON.
+func (c *Campaign) JSON() ([]byte, error) { return json.MarshalIndent(c, "", "  ") }

@@ -12,6 +12,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"dronedse/mavlink"
 )
@@ -44,7 +45,21 @@ type Station struct {
 	seq     uint8
 	history []VehicleState
 	histCap int
+
+	// ReadTimeout is the per-read deadline on served TCP connections: a
+	// link that goes silent longer than this is dropped so the vehicle can
+	// reconnect (lossy links injected by faultx.LossyLink exercise it).
+	// Zero means DefaultReadTimeout. Set before ServeTCP.
+	ReadTimeout time.Duration
+	// Reconnects counts connections served after the first.
+	Reconnects int
+
+	ln     net.Listener
+	closed bool
 }
+
+// DefaultReadTimeout is the served connection's silent-link deadline.
+const DefaultReadTimeout = 10 * time.Second
 
 // New returns a station writing commands to out (nil for receive-only).
 // The station keeps a bounded history of position fixes for track display.
@@ -133,35 +148,82 @@ func (s *Station) SendCommand(c mavlink.CommandLong) error {
 	return err
 }
 
-// ServeTCP accepts one telemetry connection on addr and consumes it until
-// EOF; it returns the listener address once listening via the ready channel.
+// ServeTCP accepts telemetry connections on addr and consumes them until
+// Shutdown; it sends the listener address once listening via the ready
+// channel. Connections are served one at a time (one vehicle): a dropped or
+// silent link — enforced with a per-read deadline — closes the connection
+// and the loop accepts the vehicle's reconnect, preserving the accumulated
+// state and Track history across link outages.
 func (s *Station) ServeTCP(addr string, ready chan<- net.Addr) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil
+	}
+	s.ln = ln
+	s.mu.Unlock()
 	defer ln.Close()
 	if ready != nil {
 		ready <- ln.Addr()
 	}
-	conn, err := ln.Accept()
-	if err != nil {
-		return err
+	conns := 0
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		if conns > 0 {
+			s.mu.Lock()
+			s.Reconnects++
+			s.mu.Unlock()
+		}
+		conns++
+		s.serveConn(conn)
 	}
+}
+
+// serveConn drains one telemetry connection until EOF, error, or a silent
+// link hitting the read deadline.
+func (s *Station) serveConn(conn net.Conn) {
 	defer conn.Close()
+	timeout := s.ReadTimeout
+	if timeout <= 0 {
+		timeout = DefaultReadTimeout
+	}
 	r := bufio.NewReader(conn)
 	buf := make([]byte, 4096)
 	for {
+		conn.SetReadDeadline(time.Now().Add(timeout))
 		n, err := r.Read(buf)
 		if n > 0 {
 			s.Consume(buf[:n])
 		}
 		if err != nil {
-			if err == io.EOF {
-				return nil
-			}
-			return err
+			return // EOF, deadline, or a broken link: wait for reconnect
 		}
+	}
+}
+
+// Shutdown stops ServeTCP: the listener closes and the serve loop returns
+// nil after the in-flight connection (if any) drains.
+func (s *Station) Shutdown() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
 	}
 }
 

@@ -136,6 +136,8 @@ func TestServeTCP(t *testing.T) {
 		}
 	}
 	conn.Close()
+	waitForHeartbeats(t, gs, 5)
+	gs.Shutdown()
 	select {
 	case err := <-done:
 		if err != nil {
@@ -146,6 +148,133 @@ func TestServeTCP(t *testing.T) {
 	}
 	if got := gs.State().Heartbeats; got != 5 {
 		t.Errorf("heartbeats over TCP = %d, want 5", got)
+	}
+}
+
+// waitForHeartbeats polls until the station has consumed at least n
+// heartbeats (the serve loop runs in its own goroutine).
+func waitForHeartbeats(t *testing.T, gs *Station, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for gs.State().Heartbeats < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("station saw %d heartbeats, want %d", gs.State().Heartbeats, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestServeTCPReconnect drops the telemetry link mid-flight and reconnects:
+// the accept loop must serve the new connection and the Track history must
+// span both connections (the LossyLink outage scenario's ground-side
+// contract).
+func TestServeTCPReconnect(t *testing.T) {
+	gs := New(nil)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- gs.ServeTCP("127.0.0.1:0", ready) }()
+	addr := <-ready
+
+	q, _ := sim.NewQuad(sim.DefaultConfig())
+	ap, _ := autopilot.New(autopilot.Config{Quad: q, Seed: 1})
+	var seq uint8
+	sendBurst := func(conn net.Conn, n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			ap.RunFor(0.05)
+			raw, err := ap.Telemetry(&seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := conn.Write(raw); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	conn1, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendBurst(conn1, 4)
+	conn1.Close() // link drop
+	waitForHeartbeats(t, gs, 4)
+	trackBefore := len(gs.Track())
+
+	conn2, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendBurst(conn2, 3)
+	conn2.Close()
+	waitForHeartbeats(t, gs, 7)
+	gs.Shutdown()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not finish")
+	}
+
+	if gs.Reconnects != 1 {
+		t.Errorf("reconnects = %d, want 1", gs.Reconnects)
+	}
+	track := gs.Track()
+	if len(track) != 7 {
+		t.Errorf("track = %d fixes, want 7 (history must survive the link drop)", len(track))
+	}
+	if trackBefore == 0 || len(track) <= trackBefore {
+		t.Errorf("track did not grow across reconnect: before=%d after=%d", trackBefore, len(track))
+	}
+	for i := 1; i < len(track); i++ {
+		if track[i].TimeMS < track[i-1].TimeMS {
+			t.Fatal("track timestamps not monotone across reconnect")
+		}
+	}
+}
+
+// TestServeTCPReadDeadline verifies a silent connection is dropped after the
+// read timeout instead of wedging the accept loop forever.
+func TestServeTCPReadDeadline(t *testing.T) {
+	gs := New(nil)
+	gs.ReadTimeout = 50 * time.Millisecond
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- gs.ServeTCP("127.0.0.1:0", ready) }()
+	addr := <-ready
+
+	// A connection that never sends a byte: the server must time it out.
+	silent, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+
+	// After the deadline the loop must accept a fresh connection.
+	time.Sleep(120 * time.Millisecond)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := sim.NewQuad(sim.DefaultConfig())
+	ap, _ := autopilot.New(autopilot.Config{Quad: q, Seed: 1})
+	var seq uint8
+	raw, _ := ap.Telemetry(&seq)
+	if _, err := conn.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	waitForHeartbeats(t, gs, 1)
+	gs.Shutdown()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not finish")
 	}
 }
 

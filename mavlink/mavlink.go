@@ -81,55 +81,119 @@ func (f Frame) Marshal() ([]byte, error) {
 	return append(buf, cb[:]...), nil
 }
 
+// maxFrameLen is the largest possible wire frame: header + max payload +
+// CRC.
+const maxFrameLen = 8 + MaxPayload
+
+// DefaultMaxBuffer is the parser's default cap on buffered bytes. After any
+// Push returns, at most one incomplete frame (< maxFrameLen bytes) remains
+// buffered; the cap additionally bounds the transient working set while a
+// large chunk is being consumed, so garbage floods cannot grow the backing
+// array without bound.
+const DefaultMaxBuffer = 1 << 14
+
 // Parser is a streaming frame decoder: feed arbitrary byte chunks, collect
-// complete frames; garbage and CRC failures are skipped with resync.
+// complete frames; garbage and CRC failures are skipped with resync. The
+// internal buffer is compacted as bytes are consumed and capped at
+// MaxBuffer, so a garbage flood costs O(MaxBuffer) memory, not O(input).
 type Parser struct {
-	buf      []byte
-	BadCRC   int
-	Resyncs  int
-	Complete int
+	buf []byte
+	// MaxBuffer caps the buffered byte count (0 means DefaultMaxBuffer;
+	// values below one max-length frame are raised to it).
+	MaxBuffer int
+	BadCRC    int
+	Resyncs   int
+	Complete  int
+	// Discarded counts every byte dropped without decoding: resync skips,
+	// CRC-failed sync bytes, and overflow drops. Conservation invariant:
+	// bytes pushed == bytes in returned frames (8+len(Payload) each)
+	//              + Discarded + BufferedBytes().
+	Discarded int
 }
 
-// Push appends bytes and returns any complete frames decoded.
+// BufferedBytes returns the number of bytes currently held for reassembly.
+func (p *Parser) BufferedBytes() int { return len(p.buf) }
+
+// BufferCap returns the capacity of the internal buffer (tests assert the
+// garbage-flood bound on it).
+func (p *Parser) BufferCap() int { return cap(p.buf) }
+
+// Push appends bytes and returns any complete frames decoded. Input larger
+// than the buffer cap is consumed in bounded slices, so the working set
+// stays O(MaxBuffer) regardless of chunk size.
 func (p *Parser) Push(data []byte) []Frame {
-	p.buf = append(p.buf, data...)
+	max := p.MaxBuffer
+	if max <= 0 {
+		max = DefaultMaxBuffer
+	}
+	if max < maxFrameLen {
+		max = maxFrameLen
+	}
 	var out []Frame
 	for {
+		if n := max - len(p.buf); n > 0 {
+			if n > len(data) {
+				n = len(data)
+			}
+			p.buf = append(p.buf, data[:n]...)
+			data = data[n:]
+		}
+		out = p.parse(out)
+		if len(data) == 0 {
+			return out
+		}
+	}
+}
+
+// parse consumes as many frames as possible from the buffer, compacting it
+// afterwards so consumed prefixes do not pin the backing array.
+func (p *Parser) parse(out []Frame) []Frame {
+	start := 0 // consumed prefix
+	for {
 		// find magic
-		i := 0
+		i := start
 		for i < len(p.buf) && p.buf[i] != Magic {
 			i++
 		}
-		if i > 0 {
+		if i > start {
 			p.Resyncs++
-			p.buf = p.buf[i:]
+			p.Discarded += i - start
+			start = i
 		}
-		if len(p.buf) < 8 {
-			return out
+		rem := p.buf[start:]
+		if len(rem) < 8 {
+			break
 		}
-		plen := int(p.buf[1])
+		plen := int(rem[1])
 		total := 8 + plen
-		if len(p.buf) < total {
-			return out
+		if len(rem) < total {
+			break
 		}
 		frame := Frame{
-			Seq:     p.buf[2],
-			SysID:   p.buf[3],
-			CompID:  p.buf[4],
-			MsgID:   MsgID(p.buf[5]),
-			Payload: append([]byte(nil), p.buf[6:6+plen]...),
+			Seq:     rem[2],
+			SysID:   rem[3],
+			CompID:  rem[4],
+			MsgID:   MsgID(rem[5]),
+			Payload: append([]byte(nil), rem[6:6+plen]...),
 		}
-		wire := binary.LittleEndian.Uint16(p.buf[6+plen : 8+plen])
-		calc := X25(append(append([]byte(nil), p.buf[1:6+plen]...), crcExtra[frame.MsgID]))
+		wire := binary.LittleEndian.Uint16(rem[6+plen : 8+plen])
+		calc := X25(append(append([]byte(nil), rem[1:6+plen]...), crcExtra[frame.MsgID]))
 		if wire == calc {
 			p.Complete++
 			out = append(out, frame)
-			p.buf = p.buf[total:]
+			start += total
 		} else {
 			p.BadCRC++
-			p.buf = p.buf[1:] // resync past this magic byte
+			p.Discarded++ // the sync byte is dropped; resync rescans the rest
+			start++
 		}
 	}
+	if start > 0 {
+		// Compact in place: the copy overlaps, which copy() handles.
+		n := copy(p.buf, p.buf[start:])
+		p.buf = p.buf[:n]
+	}
+	return out
 }
 
 // --- Message payloads ---

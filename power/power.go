@@ -23,6 +23,12 @@ type Pack struct {
 	// effect. High-current racing drains deliver measurably less energy,
 	// which is one reason the paper's short-flight ESC class exists.
 	PeukertK float64
+	// SagVolts is an injected pack-level voltage sag (fault injection: a
+	// weak cell or a cold pack). Zero leaves the voltage model untouched.
+	SagVolts float64
+	// FadeFrac is an injected capacity fade in [0, 1): the fraction of
+	// rated capacity lost to cell aging. Zero leaves the model untouched.
+	FadeFrac float64
 	// usedMah tracks consumed charge.
 	usedMah float64
 }
@@ -50,12 +56,41 @@ func (p *Pack) NominalVoltage() float64 { return units.CellsToVoltage(p.Cells) }
 func (p *Pack) Voltage() float64 {
 	soc := p.StateOfCharge()
 	perCell := 3.3 + 0.9*math.Pow(soc, 0.6) // 4.2 at soc=1, steep near empty
-	return perCell * float64(p.Cells)
+	v := perCell * float64(p.Cells)
+	if p.SagVolts != 0 {
+		v -= p.SagVolts
+		if floor := 3.0 * float64(p.Cells); v < floor {
+			v = floor
+		}
+	}
+	return v
+}
+
+// SetFault installs (or, with zeros, clears) an injected battery fault:
+// a pack-level voltage sag in volts and a capacity fade fraction.
+func (p *Pack) SetFault(sagVolts, fadeFrac float64) {
+	if sagVolts < 0 {
+		sagVolts = 0
+	}
+	if fadeFrac < 0 {
+		fadeFrac = 0
+	} else if fadeFrac > 0.95 {
+		fadeFrac = 0.95
+	}
+	p.SagVolts, p.FadeFrac = sagVolts, fadeFrac
+}
+
+// effCapacityMah is the rated capacity after any injected fade.
+func (p *Pack) effCapacityMah() float64 {
+	if p.FadeFrac == 0 {
+		return p.CapacityMah
+	}
+	return p.CapacityMah * (1 - p.FadeFrac)
 }
 
 // StateOfCharge returns the remaining fraction of rated capacity in [0,1].
 func (p *Pack) StateOfCharge() float64 {
-	s := 1 - p.usedMah/p.CapacityMah
+	s := 1 - p.usedMah/p.effCapacityMah()
 	if s < 0 {
 		return 0
 	}
@@ -63,9 +98,9 @@ func (p *Pack) StateOfCharge() float64 {
 }
 
 // UsableEnergyWh returns the mission-usable energy at nominal voltage,
-// honoring the paper's 85% LiPoDrainLimit.
+// honoring the paper's 85% LiPoDrainLimit (and any injected capacity fade).
 func (p *Pack) UsableEnergyWh() float64 {
-	return units.MahToWh(p.CapacityMah, p.NominalVoltage()) * units.LiPoDrainLimit
+	return units.MahToWh(p.effCapacityMah(), p.NominalVoltage()) * units.LiPoDrainLimit
 }
 
 // MaxContinuousCurrentA is the C-rating current ceiling.
@@ -76,7 +111,7 @@ func (p *Pack) MaxContinuousCurrentA() float64 {
 // Drained reports whether the pack has hit the 85% drain limit: continuing
 // past it damages LiPo chemistry (§2.1.2), so the autopilot must land.
 func (p *Pack) Drained() bool {
-	return p.usedMah >= p.CapacityMah*units.LiPoDrainLimit
+	return p.usedMah >= p.effCapacityMah()*units.LiPoDrainLimit
 }
 
 // Draw consumes current (A) for dt seconds and returns the delivered power
@@ -92,7 +127,7 @@ func (p *Pack) Draw(currentA, dt float64) float64 {
 	v := p.Voltage()
 	eff := currentA
 	if p.PeukertK > 1 && currentA > 0 {
-		ref := p.CapacityMah / 1000 // the 1C current
+		ref := p.effCapacityMah() / 1000 // the 1C current
 		if ratio := currentA / ref; ratio > 1 {
 			eff = currentA * math.Pow(ratio, p.PeukertK-1)
 		}

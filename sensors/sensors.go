@@ -146,12 +146,57 @@ func (g *GPS) Sample(s sim.State) GPSSample {
 	}
 }
 
+// Sensor names the FaultView interface keys on.
+const (
+	SensorIMU  = "imu"
+	SensorMag  = "mag"
+	SensorBaro = "baro"
+	SensorGPS  = "gps"
+)
+
+// FaultState describes one sensor's instantaneous fault condition. The zero
+// value is nominal.
+type FaultState struct {
+	// Dropout loses the sample entirely (the bus went quiet).
+	Dropout bool
+	// Stuck repeats the last delivered value instead of sampling anew (a
+	// frozen DMA buffer). A stuck sensor that never delivered behaves as a
+	// dropout.
+	Stuck bool
+	// Bias is an additive offset injected into the delivered sample
+	// (bias-jump faults). Scalar sensors read the X component. IMU faults
+	// bias the accelerometer axes.
+	Bias mathx.Vec3
+}
+
+// FaultView answers per-sensor fault queries at sample time. Fault
+// injectors (package faultx) implement it; a nil view means nominal
+// operation, and a view reporting zero FaultStates must leave the sampled
+// values — including the noise RNG stream — untouched.
+type FaultView interface {
+	SensorFault(sensor string, t float64) FaultState
+}
+
 // Suite bundles the Table 2a sensor set at its reference rates.
 type Suite struct {
 	IMU  *IMU
 	Mag  *Magnetometer
 	Baro *Barometer
 	GPS  *GPS
+
+	// Faults, when non-nil, is consulted by the Sample* suite methods on
+	// every due sample; it gates dropout/stuck/bias faults per sensor.
+	Faults FaultView
+
+	// held last-delivered samples, replayed by stuck faults.
+	lastIMU    IMUSample
+	lastIMUOK  bool
+	lastGPS    GPSSample
+	lastGPSOK  bool
+	lastBaro   float64
+	lastBaroOK bool
+	lastYaw    float64
+	lastYawOK  bool
 }
 
 // NewSuite builds the default suite: IMU 200 Hz, magnetometer 10 Hz,
@@ -163,6 +208,107 @@ func NewSuite(seed int64) *Suite {
 		Baro: NewBarometer(15, seed+2),
 		GPS:  NewGPS(5, seed+3),
 	}
+}
+
+// fault returns the active fault state for a sensor, nominal when no view
+// is installed.
+func (s *Suite) fault(name string, t float64) FaultState {
+	if s.Faults == nil {
+		return FaultState{}
+	}
+	return s.Faults.SensorFault(name, t)
+}
+
+// SampleIMU reads the IMU if a sample is due at t, applying any installed
+// faults. ok is false when no sample is due or the sample dropped out.
+func (s *Suite) SampleIMU(t float64, st sim.State, trueAccelWorld mathx.Vec3) (IMUSample, bool) {
+	if !s.IMU.Due(t) {
+		return IMUSample{}, false
+	}
+	f := s.fault(SensorIMU, t)
+	if f.Dropout || (f.Stuck && !s.lastIMUOK) {
+		return IMUSample{}, false
+	}
+	var sm IMUSample
+	if f.Stuck {
+		sm = s.lastIMU
+	} else {
+		sm = s.IMU.Sample(st, trueAccelWorld)
+		if f.Bias != (mathx.Vec3{}) {
+			sm.Accel = sm.Accel.Add(f.Bias)
+		}
+	}
+	s.lastIMU, s.lastIMUOK = sm, true
+	return sm, true
+}
+
+// SampleGPS reads a GPS fix if one is due at t, applying any installed
+// faults.
+func (s *Suite) SampleGPS(t float64, st sim.State) (GPSSample, bool) {
+	if !s.GPS.Due(t) {
+		return GPSSample{}, false
+	}
+	f := s.fault(SensorGPS, t)
+	if f.Dropout || (f.Stuck && !s.lastGPSOK) {
+		return GPSSample{}, false
+	}
+	var fix GPSSample
+	if f.Stuck {
+		fix = s.lastGPS
+	} else {
+		fix = s.GPS.Sample(st)
+		if f.Bias != (mathx.Vec3{}) {
+			fix.Pos = fix.Pos.Add(f.Bias)
+		}
+	}
+	s.lastGPS, s.lastGPSOK = fix, true
+	return fix, true
+}
+
+// SampleBaro reads the barometric altitude if one is due at t, applying any
+// installed faults.
+func (s *Suite) SampleBaro(t float64, st sim.State) (float64, bool) {
+	if !s.Baro.Due(t) {
+		return 0, false
+	}
+	f := s.fault(SensorBaro, t)
+	if f.Dropout || (f.Stuck && !s.lastBaroOK) {
+		return 0, false
+	}
+	var alt float64
+	if f.Stuck {
+		alt = s.lastBaro
+	} else {
+		alt = s.Baro.SampleAltitude(st)
+		if f.Bias.X != 0 {
+			alt += f.Bias.X
+		}
+	}
+	s.lastBaro, s.lastBaroOK = alt, true
+	return alt, true
+}
+
+// SampleMagYaw reads the magnetometer yaw if one is due at t, applying any
+// installed faults.
+func (s *Suite) SampleMagYaw(t float64, st sim.State) (float64, bool) {
+	if !s.Mag.Due(t) {
+		return 0, false
+	}
+	f := s.fault(SensorMag, t)
+	if f.Dropout || (f.Stuck && !s.lastYawOK) {
+		return 0, false
+	}
+	var yaw float64
+	if f.Stuck {
+		yaw = s.lastYaw
+	} else {
+		yaw = s.Mag.SampleYaw(st)
+		if f.Bias.X != 0 {
+			yaw += f.Bias.X
+		}
+	}
+	s.lastYaw, s.lastYawOK = yaw, true
+	return yaw, true
 }
 
 // Table2a returns the paper's sensor data-frequency table as (sensor,

@@ -19,6 +19,10 @@ type Environment struct {
 	// TurbulenceStd is the standard deviation of the random turbulence
 	// component (m/s).
 	TurbulenceStd float64
+	// GustOffset is an externally-injected wind step (m/s, world frame)
+	// added on top of the modeled wind. Fault injectors drive it to apply
+	// deterministic gust-step events; zero leaves the wind untouched.
+	GustOffset mathx.Vec3
 
 	rng  *rand.Rand
 	turb mathx.Vec3
@@ -57,6 +61,9 @@ func (e *Environment) WindAt(t float64) mathx.Vec3 {
 			e.rng.NormFloat64(), e.rng.NormFloat64(), e.rng.NormFloat64()).
 			Scale(e.TurbulenceStd * 0.2))
 		w = w.Add(e.turb)
+	}
+	if e.GustOffset != (mathx.Vec3{}) {
+		w = w.Add(e.GustOffset)
 	}
 	return w
 }

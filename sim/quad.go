@@ -80,7 +80,11 @@ type Quad struct {
 	env      *Environment
 	onGround bool
 	failed   [NumMotors]bool
-	t        float64
+	// eff derates each rotor's commanded thrust (1 = healthy). Partial
+	// thrust loss — a chipped prop, a sagging ESC — sits between healthy
+	// and the binary FailMotor, and fault injectors drive it over time.
+	eff [NumMotors]float64
+	t   float64
 }
 
 // NewQuad builds the plant from a config.
@@ -106,6 +110,9 @@ func NewQuad(cfg Config) (*Quad, error) {
 		onGround: true,
 	}
 	q.state.Att = mathx.QuatIdentity()
+	for i := range q.eff {
+		q.eff[i] = 1
+	}
 	return q, nil
 }
 
@@ -155,6 +162,23 @@ func (q *Quad) RepairMotor(i int) {
 
 // MotorFailed reports whether motor i is failed.
 func (q *Quad) MotorFailed(i int) bool { return i >= 0 && i < NumMotors && q.failed[i] }
+
+// SetMotorEfficiency derates motor i to the given thrust fraction in [0, 1]
+// (1 restores full health). Unlike FailMotor it models partial thrust loss;
+// the commanded thrust is scaled before the spin-up lag.
+func (q *Quad) SetMotorEfficiency(i int, frac float64) {
+	if i >= 0 && i < NumMotors {
+		q.eff[i] = mathx.Clamp(frac, 0, 1)
+	}
+}
+
+// MotorEfficiency returns motor i's present thrust derate (1 = healthy).
+func (q *Quad) MotorEfficiency(i int) float64 {
+	if i < 0 || i >= NumMotors {
+		return 0
+	}
+	return q.eff[i]
+}
 
 // Teleport places the drone at rest at a position (test/scenario setup):
 // velocities zero, attitude level, rotors pre-spun to hover thrust so a
@@ -219,6 +243,9 @@ func (q *Quad) Step(dt float64) {
 	alpha := dt / (q.rotor.TimeConstant + dt)
 	for i := range q.thrustN {
 		cmd := q.cmdN[i]
+		if q.eff[i] != 1 {
+			cmd *= q.eff[i]
+		}
 		if q.failed[i] {
 			cmd = 0
 		}
