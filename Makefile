@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-slam bench-fault bench-json ci
+.PHONY: all build vet test race bench-smoke bench-slam bench-fault bench-json smoke-cmds ci
 
 all: build
 
@@ -45,4 +45,23 @@ bench-fault:
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_core.json
 
-ci: vet build race bench-smoke bench-slam bench-fault
+# End-to-end command smoke: build and briefly run every cmd binary and every
+# example, so a refactor that compiles but breaks a tool's wiring (all of
+# them now build their stacks through the scenario engine) fails CI, not the
+# first user.
+smoke-cmds:
+	$(GO) build ./cmd/... ./examples/...
+	$(GO) run ./cmd/dse >/dev/null
+	$(GO) run ./cmd/flysim -seed 1 >/dev/null
+	$(GO) run ./cmd/faultcamp -procs 2 -seconds 120 >/dev/null
+	$(GO) run ./cmd/figures -fig 10 -procs 2 >/dev/null
+	$(GO) run ./cmd/perfstat -iters 2000 >/dev/null
+	$(GO) run ./cmd/slambench -seqs 1 -procs 2 >/dev/null
+	$(GO) run ./cmd/benchjson -quick -o - >/dev/null
+	$(GO) run ./examples/quickstart >/dev/null
+	$(GO) run ./examples/design_sweep >/dev/null
+	$(GO) run ./examples/mission_flight >/dev/null
+	$(GO) run ./examples/obstacle_avoidance >/dev/null
+	$(GO) run ./examples/slam_offload >/dev/null
+
+ci: vet build race bench-smoke bench-slam bench-fault smoke-cmds

@@ -133,8 +133,26 @@ type Autopilot struct {
 	gpsDenied   bool
 	gpsDeniedAt float64
 
-	// OnStep, when set, observes every physics step (power traces).
-	OnStep func(a *Autopilot, dt float64)
+	// observers is the step bus: every registered StepObserver sees every
+	// completed physics step, in registration order.
+	observers []StepObserver
+}
+
+// StepObserver observes one completed physics step. Observers run after the
+// plant and battery have advanced, so reads of Time/State/TotalPowerW see
+// the post-step values. Observers must not call Step/RunFor/RunUntil.
+type StepObserver func(a *Autopilot, dt float64)
+
+// Observe registers fn on the step bus. Observers are invoked once per
+// physics step in registration order — a deterministic, composable
+// replacement for the old single OnStep callback that forced every caller
+// to hand-chain the previous hook. Power tracing, flight logging, fault
+// probes and user callbacks each register independently; ordering is fixed
+// by registration, so a given wiring sequence always replays identically.
+func (a *Autopilot) Observe(fn StepObserver) {
+	if fn != nil {
+		a.observers = append(a.observers, fn)
+	}
 }
 
 // New builds the autopilot stack.
@@ -459,8 +477,8 @@ func (a *Autopilot) Step() {
 		alpha := dt / 5
 		a.avgPowerW += alpha * (total - a.avgPowerW)
 	}
-	if a.OnStep != nil {
-		a.OnStep(a, dt)
+	for _, fn := range a.observers {
+		fn(a, dt)
 	}
 }
 

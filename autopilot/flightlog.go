@@ -40,19 +40,15 @@ type LogEvent struct {
 	Text  string
 }
 
-// AttachFlightLog installs the recorder on the autopilot's step hook,
-// chaining any existing OnStep observer.
+// AttachFlightLog registers the recorder on the autopilot's step bus; it
+// samples in registration order relative to any other observers.
 func (a *Autopilot) AttachFlightLog(l *FlightLog) {
 	if l.PeriodS <= 0 {
 		l.PeriodS = 0.1
 	}
-	prev := a.OnStep
 	lastMode := a.Mode()
 	lastEvent := a.LastEvent()
-	a.OnStep = func(ap *Autopilot, dt float64) {
-		if prev != nil {
-			prev(ap, dt)
-		}
+	a.Observe(func(ap *Autopilot, dt float64) {
 		if m := ap.Mode(); m != lastMode {
 			l.events = append(l.events, LogEvent{ap.Time(), "mode " + lastMode.String() + " -> " + m.String()})
 			lastMode = m
@@ -82,7 +78,7 @@ func (a *Autopilot) AttachFlightLog(l *FlightLog) {
 			e.BatterySoC = b.StateOfCharge()
 		}
 		l.entries = append(l.entries, e)
-	}
+	})
 }
 
 // Entries returns the recorded rows.

@@ -30,7 +30,7 @@ func TestFollowMovingTarget(t *testing.T) {
 	ap.RunFor(15)
 	var worstDist, worstYaw float64
 	samples := 0
-	ap.OnStep = func(a *Autopilot, dt float64) {
+	ap.Observe(func(a *Autopilot, dt float64) {
 		samples++
 		if samples%100 != 0 {
 			return
@@ -47,7 +47,7 @@ func TestFollowMovingTarget(t *testing.T) {
 		if d := math.Abs(wrap(yaw - want)); d > worstYaw {
 			worstYaw = d
 		}
-	}
+	})
 	ap.RunFor(10)
 	if worstDist > 2.0 {
 		t.Errorf("standoff error up to %.2f m while tracking", worstDist)

@@ -8,7 +8,7 @@ import (
 	"dronedse/control"
 	"dronedse/mathx"
 	"dronedse/platform"
-	"dronedse/power"
+	"dronedse/scenario"
 	"dronedse/sensors"
 	"dronedse/sim"
 	"dronedse/trace"
@@ -196,50 +196,21 @@ func RunFigure16(seed int64) (Figure16, error) {
 	out.RPiTrace = rpi
 	out.RPiPhases = spans
 
-	// (b) Whole drone: fly a mission on the full stack, oscilloscope on
-	// the battery.
-	q, err := sim.NewQuad(sim.DefaultConfig())
-	if err != nil {
-		return out, err
-	}
-	pack, err := power.NewPack(3, 3000, 30)
-	if err != nil {
-		return out, err
-	}
-	ap, err := autopilot.New(autopilot.Config{
-		Quad: q, Battery: pack, ComputeW: 4.56 + 0.75, // RPi w/ SLAM + Navio2
-		TakeoffAltM: 5, Seed: seed,
+	// (b) Whole drone: fly the reference box mission on the full stack —
+	// SLAM-active compute phase, oscilloscope on the battery — via the
+	// scenario engine.
+	res, err := scenario.Run(scenario.Spec{
+		Seed:      seed,
+		TraceSeed: seed + 1,
+		Compute:   scenario.Compute{SLAM: true}, // RPi w/ SLAM + Navio2
 	})
 	if err != nil {
 		return out, err
 	}
-	scope := trace.NewOscilloscope(seed + 1)
-	ap.OnStep = func(a *autopilot.Autopilot, dt float64) {
-		scope.Observe(a.Time(), a.TotalPowerW())
-	}
-	if err := ap.Arm(); err != nil {
-		return out, err
-	}
-	if err := ap.LoadMission(autopilot.MissionPlan{
-		{Pos: mathx.V3(12, 0, 6), HoldS: 1},
-		{Pos: mathx.V3(12, 12, 8), HoldS: 1},
-		{Pos: mathx.V3(0, 12, 6), HoldS: 1},
-	}); err != nil {
-		return out, err
-	}
-	ap.RunUntil(func(a *autopilot.Autopilot) bool { return a.Mode() == autopilot.Hover }, 30)
-	if ap.Mode() == autopilot.Hover {
-		if err := ap.StartMission(); err != nil {
-			return out, err
-		}
-	}
-	out.FlightOK = ap.RunUntil(func(a *autopilot.Autopilot) bool {
-		return a.Mode() == autopilot.Disarmed
-	}, 240)
-	end := ap.Time()
-	out.DroneTrace = scope
-	out.DroneAvgW = scope.MeanPower(2, end)
-	out.DronePeakW = scope.PeakPower(2, end)
+	out.FlightOK = res.FinalMode == autopilot.Disarmed
+	out.DroneTrace = res.Trace
+	out.DroneAvgW = res.Trace.MeanPower(2, res.FlightTimeS)
+	out.DronePeakW = res.Trace.PeakPower(2, res.FlightTimeS)
 	return out, nil
 }
 

@@ -8,6 +8,7 @@
 //
 //	benchjson                 # quick suite -> BENCH_core.json
 //	benchjson -o - -seqs 2    # print to stdout, truncated SLAM suite
+//	benchjson -quick -o -     # smoke subset (resolve + scenario_flight)
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"dronedse/dataset"
 	"dronedse/faultx"
 	"dronedse/parallelx"
+	"dronedse/scenario"
 	"dronedse/slam"
 )
 
@@ -47,6 +49,7 @@ type Report struct {
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file (- for stdout)")
 	seqs := flag.Int("seqs", 2, "SLAM sequences for the suite benchmark (0 = all 11, slow)")
+	quick := flag.Bool("quick", false, "smoke subset only (resolve kernels + scenario_flight)")
 	flag.Parse()
 
 	pools := []int{1, 2}
@@ -103,6 +106,26 @@ func main() {
 			}
 		}
 	})
+	// Scenario-engine kernel: one full closed-loop reference flight (build,
+	// arm, box mission, land) per op — the wiring + flight cost every
+	// scenario-based tool pays.
+	measure("scenario_flight", serial, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := scenario.Run(scenario.Spec{Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Completed {
+				b.Fatal("reference mission did not complete")
+			}
+		}
+	})
+	if *quick {
+		writeReport(rep, *out)
+		return
+	}
+
 	measure("sweep_capacity_cold", pools, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			core.ResetResolveCache()
@@ -208,19 +231,23 @@ func main() {
 		}
 	})
 
+	writeReport(rep, *out)
+}
+
+func writeReport(rep Report, out string) {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintln(os.Stderr, "wrote", *out)
+	fmt.Fprintln(os.Stderr, "wrote", out)
 }

@@ -3,6 +3,9 @@
 // autopilot, battery — through a waypoint mission, printing a flight log
 // and the whole-drone power summary (the Figure 16b signal).
 //
+// The stack itself is assembled by the scenario engine; flysim is one
+// Spec plus console output.
+//
 // Usage:
 //
 //	flysim -alt 5 -slam            # fly the default box mission with SLAM power on
@@ -15,10 +18,7 @@ import (
 	"os"
 
 	"dronedse/autopilot"
-	"dronedse/mathx"
-	"dronedse/power"
-	"dronedse/sim"
-	"dronedse/trace"
+	"dronedse/scenario"
 )
 
 func main() {
@@ -31,74 +31,56 @@ func main() {
 	logCSV := flag.String("log", "", "write the DataFlash-style flight log as CSV to this file")
 	flag.Parse()
 
-	q, err := sim.NewQuad(sim.DefaultConfig())
-	check(err)
-	if *wind > 0 {
-		q.SetEnvironment(sim.WindyEnvironment(*seed, *wind, *wind/2))
-	}
-	pack, err := power.NewPack(3, 3000, 30)
-	check(err)
-
-	computeW := 3.39 + 0.75 // RPi autopilot + Navio2
-	if *slam {
-		computeW = 4.56 + 0.75
-	}
-	ap, err := autopilot.New(autopilot.Config{
-		Quad: q, Battery: pack, ComputeW: computeW, TakeoffAltM: *alt, Seed: *seed,
-	})
-	check(err)
-
-	scope := trace.NewOscilloscope(*seed)
 	lastLog := -5.0
-	ap.OnStep = func(a *autopilot.Autopilot, dt float64) {
-		scope.Observe(a.Time(), a.TotalPowerW())
-		if a.Time()-lastLog >= 5 {
-			lastLog = a.Time()
-			s := a.Quad().State()
-			fmt.Printf("t=%6.1fs mode=%-8v pos=(%6.2f,%6.2f,%5.2f) vel=%5.2fm/s P=%6.1fW soc=%4.1f%%\n",
-				a.Time(), a.Mode(), s.Pos.X, s.Pos.Y, s.Pos.Z, s.Vel.Norm(),
-				a.TotalPowerW(), 100*a.Battery().StateOfCharge())
-		}
+	spec := scenario.Spec{
+		Seed:        *seed,
+		TakeoffAltM: *alt,
+		Hover:       *hover,
+		MaxSeconds:  *seconds,
+		Compute:     scenario.Compute{SLAM: *slam},
+		Observers: []autopilot.StepObserver{func(a *autopilot.Autopilot, dt float64) {
+			if a.Time()-lastLog >= 5 {
+				lastLog = a.Time()
+				s := a.Quad().State()
+				fmt.Printf("t=%6.1fs mode=%-8v pos=(%6.2f,%6.2f,%5.2f) vel=%5.2fm/s P=%6.1fW soc=%4.1f%%\n",
+					a.Time(), a.Mode(), s.Pos.X, s.Pos.Y, s.Pos.Z, s.Vel.Norm(),
+					a.TotalPowerW(), 100*a.Battery().StateOfCharge())
+			}
+		}},
+		OnPhase: func(st *scenario.Stack, p scenario.Phase) {
+			switch p {
+			case scenario.PhaseArmed:
+				fmt.Println("armed; taking off...")
+			case scenario.PhaseAirborne:
+				fmt.Printf("hovering at %.1f m\n", st.Quad.State().Pos.Z)
+			}
+		},
+	}
+	if *wind > 0 {
+		spec.Wind = scenario.Wind{MeanMS: *wind, GustMS: *wind / 2}
 	}
 
-	var flog autopilot.FlightLog
-	ap.AttachFlightLog(&flog) // chains after the power-trace observer
-
-	check(ap.Arm())
-	fmt.Println("armed; taking off...")
-	if !ap.RunUntil(func(a *autopilot.Autopilot) bool { return a.Mode() == autopilot.Hover }, 30) {
+	st, err := scenario.Build(spec)
+	check(err)
+	res, err := st.Run()
+	check(err)
+	if !res.TakeoffOK {
 		fail("takeoff failed")
 	}
-	fmt.Printf("hovering at %.1f m\n", q.State().Pos.Z)
-
-	if *hover {
-		ap.RunFor(*seconds)
-		ap.CommandLand()
-		ap.RunUntil(func(a *autopilot.Autopilot) bool { return a.Mode() == autopilot.Disarmed }, 60)
-	} else {
-		mission := autopilot.MissionPlan{
-			{Pos: mathx.V3(12, 0, *alt+1), HoldS: 1},
-			{Pos: mathx.V3(12, 12, *alt+3), HoldS: 1},
-			{Pos: mathx.V3(0, 12, *alt+1), HoldS: 1},
-		}
-		check(ap.LoadMission(mission))
-		check(ap.StartMission())
-		if !ap.RunUntil(func(a *autopilot.Autopilot) bool { return a.Mode() == autopilot.Disarmed }, *seconds) {
-			fail("mission did not complete in time")
-		}
+	if !*hover && res.FinalMode != autopilot.Disarmed {
+		fail("mission did not complete in time")
 	}
 
-	end := ap.Time()
-	fmt.Printf("\nflight complete at t=%.1f s\n", end)
+	fmt.Printf("\nflight complete at t=%.1f s\n", res.FlightTimeS)
 	fmt.Printf("whole-drone power: avg %.1f W, peak %.1f W (paper's drone: 130 W avg)\n",
-		scope.MeanPower(2, end), scope.PeakPower(2, end))
+		res.Trace.MeanPower(2, res.FlightTimeS), res.Trace.PeakPower(2, res.FlightTimeS))
 	fmt.Printf("energy used: %.2f Wh of %.2f Wh usable\n",
-		scope.EnergyWh(), pack.UsableEnergyWh())
-	fmt.Println(flog.Summary())
+		res.Trace.EnergyWh(), st.Battery.UsableEnergyWh())
+	fmt.Println(res.Log.Summary())
 	if *logCSV != "" {
 		f, err := os.Create(*logCSV)
 		check(err)
-		check(flog.WriteCSV(f))
+		check(res.Log.WriteCSV(f))
 		check(f.Close())
 		fmt.Println("flight log written to", *logCSV)
 	}

@@ -166,3 +166,75 @@ func TestTimeoutSurfaces(t *testing.T) {
 		t.Errorf("err = %v, want ErrTimeout", err)
 	}
 }
+
+// TestBlockingHelperTimeouts exhausts the step budget in every blocking
+// helper: each must surface ErrTimeout (not hang, not succeed) when its
+// condition cannot be met within StepBudgetS of simulated time.
+func TestBlockingHelperTimeouts(t *testing.T) {
+	airborne := func(t *testing.T) *Vehicle {
+		t.Helper()
+		v := newVehicle(t)
+		if err := v.ArmAndTakeoff(); err != nil {
+			t.Fatal(err)
+		}
+		v.StepBudgetS = 0.5 // far too little simulated time for any maneuver
+		return v
+	}
+	wantTimeout := func(t *testing.T, name string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s completed within 0.5 simulated seconds?", name)
+		}
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("%s err = %v, want ErrTimeout", name, err)
+		}
+	}
+
+	t.Run("GotoLocation", func(t *testing.T) {
+		v := airborne(t)
+		wantTimeout(t, "GotoLocation", v.GotoLocation(mathx.V3(40, 0, 8), 0))
+		// The helper must still hand control back to a hover.
+		if got := v.Attributes().Mode; got != "HOVER" {
+			t.Errorf("mode after timed-out goto = %v, want HOVER", got)
+		}
+	})
+	t.Run("FlyMission", func(t *testing.T) {
+		v := airborne(t)
+		wantTimeout(t, "FlyMission", v.FlyMission(autopilot.MissionPlan{
+			{Pos: mathx.V3(30, 30, 8), HoldS: 1},
+		}))
+	})
+	t.Run("FlyTrajectory", func(t *testing.T) {
+		v := airborne(t)
+		tr, err := planner.PlanTrajectory([]mathx.Vec3{
+			{X: 0, Y: 0, Z: 5}, {X: 25, Y: 0, Z: 6},
+		}, 0.4, 0.2) // crawl: needs far longer than TotalS + 0.5 s slack
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.StepBudgetS = -tr.TotalS + 0.5 // net waitFor budget of 0.5 s
+		wantTimeout(t, "FlyTrajectory", v.FlyTrajectory(tr))
+	})
+	t.Run("ReturnToLaunch", func(t *testing.T) {
+		v := airborne(t)
+		wantTimeout(t, "ReturnToLaunch", v.ReturnToLaunch())
+	})
+	t.Run("Land", func(t *testing.T) {
+		v := airborne(t)
+		wantTimeout(t, "Land", v.Land())
+	})
+
+	// A timeout is an error, not a wreck: the same vehicle can be given a
+	// real budget and finish the verb.
+	t.Run("RecoverAfterTimeout", func(t *testing.T) {
+		v := airborne(t)
+		wantTimeout(t, "Land", v.Land())
+		v.StepBudgetS = 120
+		if err := v.Land(); err != nil {
+			t.Fatalf("landing with a real budget after a timeout: %v", err)
+		}
+		if v.Attributes().Armed {
+			t.Error("still armed after recovered landing")
+		}
+	})
+}

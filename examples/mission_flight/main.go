@@ -3,6 +3,10 @@
 // station running in the same process, which monitors progress and issues
 // the return-to-launch command, exactly like the paper's DroneKit +
 // 915 MHz telemetry setup.
+//
+// The flight stack is wired by scenario.Build; because an operator command
+// lands mid-mission, this example drives the flight phases itself instead
+// of using the canned scenario.Run sequence.
 package main
 
 import (
@@ -14,8 +18,7 @@ import (
 	"dronedse/groundstation"
 	"dronedse/mathx"
 	"dronedse/mavlink"
-	"dronedse/power"
-	"dronedse/sim"
+	"dronedse/scenario"
 )
 
 func main() {
@@ -26,45 +29,31 @@ func main() {
 	go func() { done <- gs.ServeTCP("127.0.0.1:0", ready) }()
 	addr := <-ready
 
-	// The drone side: plant + battery + autopilot.
-	quad, err := sim.NewQuad(sim.DefaultConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	pack, err := power.NewPack(3, 3000, 30)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ap, err := autopilot.New(autopilot.Config{
-		Quad: quad, Battery: pack, ComputeW: 4.14, TakeoffAltM: 5, Seed: 7,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	conn, err := net.Dial("tcp", addr.String())
 	if err != nil {
 		log.Fatal(err)
-	}
-
-	// Telemetry at 1 Hz of simulated time.
-	var seq uint8
-	lastTelem := -1.0
-	ap.OnStep = func(a *autopilot.Autopilot, dt float64) {
-		if a.Time()-lastTelem < 1 {
-			return
-		}
-		lastTelem = a.Time()
-		raw, err := a.Telemetry(&seq)
-		if err == nil {
-			conn.Write(raw)
-		}
 	}
 
 	mission := autopilot.MissionPlan{
 		{Pos: mathx.V3(10, 0, 5), HoldS: 1},
 		{Pos: mathx.V3(10, 10, 8), HoldS: 2},
 	}
+	// The drone side: plant + battery + autopilot, with telemetry at 1 Hz
+	// of simulated time (1000 physics steps) into the TCP link.
+	st, err := scenario.Build(scenario.Spec{
+		Seed:    7,
+		Compute: scenario.Compute{BaseW: 4.14},
+		Mission: mission,
+		Telemetry: scenario.Telemetry{
+			EverySteps: 1000,
+			Send:       func(raw []byte) { conn.Write(raw) },
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ap := st.Autopilot
+
 	if err := ap.LoadMission(mission); err != nil {
 		log.Fatal(err)
 	}
@@ -94,9 +83,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	st := gs.State()
+	s := gs.State()
 	fmt.Printf("landed %.1f m from home after %.1f simulated seconds\n",
-		quad.State().Pos.Norm(), ap.Time())
+		st.Quad.State().Pos.Norm(), ap.Time())
 	fmt.Printf("ground station saw %d frames (%d heartbeats), last position (%.1f, %.1f, %.1f), battery %.0f%%\n",
-		st.Frames, st.Heartbeats, st.X, st.Y, st.Z, st.BatterySoC*100)
+		s.Frames, s.Heartbeats, s.X, s.Y, s.Z, s.BatterySoC*100)
 }

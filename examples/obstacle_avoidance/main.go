@@ -15,8 +15,8 @@ import (
 	"dronedse/mapping"
 	"dronedse/mathx"
 	"dronedse/planner"
-	"dronedse/power"
-	"dronedse/sim"
+	"dronedse/platform"
+	"dronedse/scenario"
 	"dronedse/slam"
 )
 
@@ -65,38 +65,27 @@ func main() {
 	}
 	fmt.Printf("trajectory: %.1f s at up to %.1f m/s\n", traj.TotalS, traj.MaxSpeed())
 
-	// Fly it.
-	quad, err := sim.NewQuad(sim.DefaultConfig())
-	if err != nil {
-		log.Fatal(err)
-	}
-	pack, err := power.NewPack(3, 3000, 30)
-	if err != nil {
-		log.Fatal(err)
-	}
-	ap, err := autopilot.New(autopilot.Config{
-		Quad: quad, Battery: pack, ComputeW: 4.56, TakeoffAltM: 5, Seed: 11,
+	// Fly it on the scenario engine: trajectory-following flight with a
+	// collision-check observer watching the true position every step.
+	collided := false
+	st, err := scenario.Build(scenario.Spec{
+		Seed:       11,
+		Compute:    scenario.Compute{BaseW: platform.RPiPhasePowerW(platform.AutopilotSLAMFlying)},
+		Trajectory: traj,
+		Observers: []autopilot.StepObserver{func(a *autopilot.Autopilot, dt float64) {
+			if world.Occupied(a.Quad().State().Pos) {
+				collided = true
+			}
+		}},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := ap.Arm(); err != nil {
-		log.Fatal(err)
-	}
-	ap.RunUntil(func(a *autopilot.Autopilot) bool { return a.Mode() == autopilot.Hover }, 30)
-	if err := ap.FlyTrajectory(traj); err != nil {
+	if _, err := st.Run(); err != nil {
 		log.Fatal(err)
 	}
 
-	collided := false
-	ap.RunUntil(func(a *autopilot.Autopilot) bool {
-		if world.Occupied(a.Quad().State().Pos) {
-			collided = true
-		}
-		return a.Mode() == autopilot.Hover
-	}, traj.TotalS+30)
-
-	end := ap.Quad().State().Pos
+	end := st.Quad.State().Pos
 	fmt.Printf("flight done at (%.1f, %.1f, %.1f), %.1f m from the goal\n",
 		end.X, end.Y, end.Z, end.Sub(goal).Norm())
 	if collided {

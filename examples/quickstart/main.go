@@ -1,5 +1,6 @@
 // Quickstart: build a drone configuration and find out what computation
-// costs it in flight time — the paper's core question in ~30 lines.
+// costs it in flight time — the paper's core question in ~30 lines — then
+// fly the same question closed-loop with one scenario.Run call.
 package main
 
 import (
@@ -8,6 +9,7 @@ import (
 
 	"dronedse/components"
 	"dronedse/core"
+	"dronedse/scenario"
 )
 
 func main() {
@@ -40,4 +42,18 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("FPGA offload gains: %+.1f min of flight time\n", gained)
+
+	// The same question, measured instead of modeled: fly the reference box
+	// mission on the full simulated stack (SLAM-class compute load) and read
+	// the compute share out of the flight's energy ledger (Equation 7).
+	res, err := scenario.Run(scenario.Spec{
+		Seed:    1,
+		Compute: scenario.Compute{SLAM: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nclosed-loop flight:  %s\n", res.Summary())
+	fmt.Printf("compute cost there:  %.2f min of this mission's flight time\n",
+		res.ComputeFlightCostMin())
 }

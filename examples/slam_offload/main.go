@@ -33,7 +33,8 @@ func main() {
 	mkSpec := func(pl platform.Platform) core.Spec {
 		hostW := pl.PowerOverheadW
 		if pl.Name == "RPi" {
-			hostW = 5 // whole RPi with SLAM active (Figure 16a)
+			// Whole RPi with SLAM active: the Figure 16a burst peak.
+			hostW = platform.RPiPhasePeakW(platform.AutopilotSLAMFlying)
 		}
 		return core.Spec{
 			WheelbaseMM: 450, Cells: 3, CapacityMah: 3000, TWR: 2,

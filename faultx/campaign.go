@@ -10,8 +10,8 @@ import (
 	"dronedse/mathx"
 	"dronedse/offload"
 	"dronedse/parallelx"
-	"dronedse/power"
-	"dronedse/sim"
+	"dronedse/platform"
+	"dronedse/scenario"
 	"dronedse/slam"
 )
 
@@ -59,7 +59,8 @@ type Config struct {
 	// cmd/flysim, so the fault-free row is bit-identical to flysim.
 	TakeoffAltM float64
 	// BaseComputeW is the autopilot-board draw before the offload
-	// session's share (default 3.39 + 0.75, the flysim RPi + Navio2).
+	// session's share (default platform.FlightComputeW(false), the flysim
+	// RPi + Navio2).
 	BaseComputeW float64
 }
 
@@ -71,7 +72,7 @@ func (c Config) withDefaults() Config {
 		c.TakeoffAltM = 5
 	}
 	if c.BaseComputeW <= 0 {
-		c.BaseComputeW = 3.39 + 0.75
+		c.BaseComputeW = platform.FlightComputeW(false)
 	}
 	return c
 }
@@ -178,140 +179,81 @@ func maxDivergence(a, b []mathx.Vec3) float64 {
 	return worst
 }
 
-// runOne flies a single scenario closed-loop: the flysim stack plus the
-// injector, an offload session polling the injected link, and telemetry
-// streamed through a LossyLink into a ground station.
+// runOne flies a single scenario closed-loop: the flysim stack — assembled
+// by the scenario engine — plus the injector, an offload session polling
+// the injected link, and telemetry streamed through a LossyLink into a
+// ground station.
 func runOne(sc Scenario, cfg Config) runOut {
-	q, err := sim.NewQuad(sim.DefaultConfig())
-	if err != nil {
-		panic(err) // static config; cannot fail
-	}
-	env := sim.NewEnvironment(sc.Seed)
-	q.SetEnvironment(env)
-	pack, err := power.NewPack(3, 3000, 30)
-	if err != nil {
-		panic(err)
-	}
-	ap, err := autopilot.New(autopilot.Config{
-		Quad: q, Battery: pack, ComputeW: cfg.BaseComputeW,
-		TakeoffAltM: cfg.TakeoffAltM, Seed: sc.Seed,
-	})
-	if err != nil {
-		panic(err)
-	}
-	ap.SetEnergyPolicy(autopilot.DefaultEnergyPolicy())
-
 	inj, err := NewInjector(sc.Plan, sc.Seed)
 	if err != nil {
 		panic(err) // validated by Run
 	}
-	inj.Bind(q, pack, env)
-	ap.Suite().Faults = inj
-	ap.SetFaultSignals(inj)
-
-	sess, err := offload.NewSession(offload.SessionConfig{
-		Link: offload.WiFi5GHz(), Node: offload.GroundStationGPU(),
-		W: offload.SLAMWorkload(), OnboardW: 2.0, OnboardG: 50, Seed: sc.Seed,
-	}, campaignSLAMStats())
-	if err != nil {
-		panic(err)
-	}
-	sess.SetProbe(inj)
-
 	link := NewLossyLink(sc.Seed + 1)
 	link.DropProb, link.CorruptProb = sc.Link.Drop, sc.Link.Corrupt
 	link.DupProb, link.TruncProb = sc.Link.Dup, sc.Link.Trunc
 	link.ReorderProb = sc.Link.Reorder
 	gs := groundstation.New(nil)
+	policy := autopilot.DefaultEnergyPolicy()
 
-	var flog autopilot.FlightLog
-	ap.AttachFlightLog(&flog)
-
-	out := runOut{}
-	energyWh := 0.0
-	maxEstErr := 0.0
-	var seq uint8
-	steps := 0
-	prev := ap.OnStep
-	ap.OnStep = func(a *autopilot.Autopilot, dt float64) {
-		if prev != nil {
-			prev(a, dt)
-		}
-		t := a.Time()
-		if steps%10 == 0 { // 100 Hz: physical fault effects
-			inj.Apply(t)
-		}
-		if steps%100 == 0 { // 10 Hz: offload retry loop + trajectory tap
-			sess.Step(t)
-			a.SetComputeW(cfg.BaseComputeW + sess.AirborneW())
-			out.traj = append(out.traj, a.Quad().State().Pos)
-			if a.Mode() != autopilot.Disarmed {
-				if e := a.EstimatedState().Pos.Sub(a.Quad().State().Pos).Norm(); e > maxEstErr {
-					maxEstErr = e
-				}
+	res, err := scenario.Run(scenario.Spec{
+		Seed:         sc.Seed,
+		TakeoffAltM:  cfg.TakeoffAltM,
+		MaxSeconds:   cfg.MaxSeconds,
+		Compute:      scenario.Compute{BaseW: cfg.BaseComputeW},
+		EnergyPolicy: &policy,
+		Faults:       inj,
+		Offload: &scenario.Offload{
+			Session: offload.SessionConfig{
+				Link: offload.WiFi5GHz(), Node: offload.GroundStationGPU(),
+				W: offload.SLAMWorkload(), OnboardW: 2.0, OnboardG: 50,
+			},
+			Stats: campaignSLAMStats(),
+		},
+		Telemetry: scenario.Telemetry{Send: func(raw []byte) {
+			if got := link.Transmit(raw); len(got) > 0 {
+				gs.Consume(got)
 			}
-		}
-		if steps%250 == 0 { // 4 Hz telemetry through the lossy link
-			if raw, err := a.Telemetry(&seq); err == nil {
-				if got := link.Transmit(raw); len(got) > 0 {
-					gs.Consume(got)
-				}
-			}
-		}
-		energyWh += a.TotalPowerW() * dt / 3600
-		steps++
-	}
-
-	mission := autopilot.MissionPlan{
-		{Pos: mathx.V3(12, 0, cfg.TakeoffAltM+1), HoldS: 1},
-		{Pos: mathx.V3(12, 12, cfg.TakeoffAltM+3), HoldS: 1},
-		{Pos: mathx.V3(0, 12, cfg.TakeoffAltM+1), HoldS: 1},
-	}
-	if err := ap.LoadMission(mission); err != nil {
-		panic(err)
-	}
-	if err := ap.Arm(); err == nil {
-		if ap.RunUntil(func(a *autopilot.Autopilot) bool { return a.Mode() != autopilot.Takeoff }, 30) &&
-			ap.Mode() == autopilot.Hover {
-			ap.StartMission()
-		}
-		ap.RunUntil(func(a *autopilot.Autopilot) bool { return a.Mode() == autopilot.Disarmed },
-			cfg.MaxSeconds-ap.Time())
+		}},
+	})
+	if err != nil {
+		panic(err) // the campaign spec is statically valid
 	}
 	if tail := link.Transmit(link.Flush()); len(tail) > 0 {
 		gs.Consume(tail)
 	}
 
-	out.res = Result{
-		Scenario:         sc.Name,
-		Seed:             sc.Seed,
-		Outcome:          classify(ap, &flog, cfg),
-		FlightTimeS:      ap.Time(),
-		MaxEstErrM:       maxEstErr,
-		EnergyWh:         energyWh,
-		Fallbacks:        sess.Fallbacks,
-		Recoveries:       sess.Recoveries,
-		TelemetryFrames:  gs.State().Frames,
-		TelemetryDropped: link.Stats.Dropped,
-		LastEvent:        ap.LastEvent(),
+	return runOut{
+		traj: res.Trajectory,
+		res: Result{
+			Scenario:         sc.Name,
+			Seed:             sc.Seed,
+			Outcome:          classify(res),
+			FlightTimeS:      res.FlightTimeS,
+			MaxEstErrM:       res.MaxEstErrM,
+			EnergyWh:         res.EnergyWh,
+			Fallbacks:        res.Fallbacks,
+			Recoveries:       res.Recoveries,
+			TelemetryFrames:  gs.State().Frames,
+			TelemetryDropped: link.Stats.Dropped,
+			LastEvent:        res.LastEvent,
+		},
 	}
-	return out
 }
 
 // classify reads the flight's end state and event log into an Outcome.
-func classify(ap *autopilot.Autopilot, flog *autopilot.FlightLog, cfg Config) Outcome {
-	for _, e := range flog.Events() {
+func classify(res *scenario.Result) Outcome {
+	for _, e := range res.Log.Events() {
 		if strings.Contains(e.Text, "crash detected") {
 			return OutcomeCrashed
 		}
 	}
-	if ap.Mode() != autopilot.Disarmed {
+	if res.FinalMode != autopilot.Disarmed {
 		return OutcomeTimeout
 	}
-	if ap.MissionCompleted() {
+	if res.Completed {
 		return OutcomeCompleted
 	}
-	for _, e := range flog.Events() {
+	for _, e := range res.Log.Events() {
 		if strings.Contains(e.Text, "failsafe land") {
 			return OutcomeLanded
 		}

@@ -32,12 +32,12 @@ func flysimReference(t *testing.T, seed int64) ([]mathx.Vec3, float64) {
 	}
 	var traj []mathx.Vec3
 	steps := 0
-	ap.OnStep = func(a *autopilot.Autopilot, dt float64) {
+	ap.Observe(func(a *autopilot.Autopilot, dt float64) {
 		if steps%100 == 0 {
 			traj = append(traj, a.Quad().State().Pos)
 		}
 		steps++
-	}
+	})
 	mission := autopilot.MissionPlan{
 		{Pos: mathx.V3(12, 0, 6), HoldS: 1},
 		{Pos: mathx.V3(12, 12, 8), HoldS: 1},

@@ -61,3 +61,21 @@ func RPiPhasePeakW(p RPiPhase) float64 {
 	}
 	return RPiPhasePowerW(p) * 1.05
 }
+
+// Navio2W is the Navio2 autopilot HAT's rail draw riding on top of the RPi
+// phases above — the sensor/PWM board the paper's 450 mm platform stacks on
+// the Pi. Every flight-stack wiring site draws the companion-computer
+// budget from here rather than repeating the literal.
+const Navio2W = 0.75
+
+// FlightComputeW is the whole companion-computer draw of the paper's flight
+// stack — RPi in the given workload phase plus the Navio2 HAT. It is the
+// single definition behind flysim's 3.39+0.75 (autopilot only) and
+// 4.56+0.75 (SLAM-class load active) operating points.
+func FlightComputeW(slamActive bool) float64 {
+	phase := AutopilotRunning
+	if slamActive {
+		phase = AutopilotSLAMFlying
+	}
+	return RPiPhasePowerW(phase) + Navio2W
+}

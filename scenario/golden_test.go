@@ -1,0 +1,108 @@
+package scenario_test
+
+// Golden-output regression tests: the digests in testdata/ were recorded on
+// the pre-scenario call sites (cmd/flysim's hand-rolled stack and the
+// faultx campaign driver before it was rebuilt on scenario). The refactor
+// is behavior-preserving exactly when these stay bit-identical.
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"dronedse/faultx"
+	"dronedse/mathx"
+	"dronedse/parallelx"
+	"dronedse/scenario"
+)
+
+// trajDigest hashes a trajectory exactly as the golden generator did:
+// sha256 over the little-endian IEEE-754 bits of X, Y, Z per sample.
+func trajDigest(traj []mathx.Vec3) string {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	for _, p := range traj {
+		put(p.X)
+		put(p.Y)
+		put(p.Z)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// readGolden parses a "key value" testdata file.
+func readGolden(t *testing.T, path string) map[string]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	out := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		k, v, ok := strings.Cut(strings.TrimSpace(sc.Text()), " ")
+		if ok {
+			out[k] = v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestFlysimGolden pins cmd/flysim's default flight (seed 1, box mission at
+// 5 m, RPi+Navio2 autopilot draw): the zero-value Spec must reproduce the
+// pre-refactor trajectory and flight time bit for bit.
+func TestFlysimGolden(t *testing.T) {
+	want := readGolden(t, "testdata/flysim_golden.txt")
+
+	res, err := scenario.Run(scenario.Spec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("reference mission did not complete (%s)", res.LastEvent)
+	}
+	if got := strconv.Itoa(len(res.Trajectory)); got != want["samples"] {
+		t.Errorf("trajectory samples = %s, golden %s", got, want["samples"])
+	}
+	if got := fmt.Sprintf("%v", res.FlightTimeS); got != want["flight_time_s"] {
+		t.Errorf("flight time = %s, golden %s", got, want["flight_time_s"])
+	}
+	if got := trajDigest(res.Trajectory); got != want["traj_sha256"] {
+		t.Errorf("trajectory digest = %s, golden %s", got, want["traj_sha256"])
+	}
+}
+
+// TestFaultCampaignGolden pins the standard fault campaign: the rendered
+// table must hash to the pre-refactor digest at pool sizes 1, 2 and 8 —
+// the golden and pool-invariance properties in one assertion.
+func TestFaultCampaignGolden(t *testing.T) {
+	want := readGolden(t, "testdata/faultcamp_golden.txt")["table_sha256"]
+
+	for _, pool := range []int{1, 2, 8} {
+		old := parallelx.SetPoolSize(pool)
+		c, err := faultx.Run(faultx.StandardScenarios(1), faultx.Config{MaxSeconds: 240})
+		parallelx.SetPoolSize(old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256([]byte(c.Table()))
+		if got := hex.EncodeToString(sum[:]); got != want {
+			t.Errorf("pool %d: campaign table digest = %s, golden %s\ntable:\n%s",
+				pool, got, want, c.Table())
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"fmt"
+
+	"dronedse/autopilot"
+	"dronedse/core"
+	"dronedse/mathx"
+	"dronedse/trace"
+)
+
+// Result is the structured outcome of one scenario flight.
+type Result struct {
+	// FlightTimeS is the total simulated time when the flight ended.
+	FlightTimeS float64
+	// TakeoffOK reports the vehicle reached hover within the 30 s budget.
+	TakeoffOK bool
+	// Completed reports every mission waypoint was visited (false for
+	// hover flights and failsafe aborts).
+	Completed bool
+	// FinalMode is the autopilot mode at the end (Disarmed for a landing,
+	// anything else for a timeout).
+	FinalMode autopilot.Mode
+	// LastEvent is the autopilot's final safety/mode annotation.
+	LastEvent string
+
+	// Trajectory is the true position sampled at 10 Hz from the first
+	// physics step.
+	Trajectory []mathx.Vec3
+	// MaxEstErrM is the worst airborne estimator error |estimate - truth|.
+	MaxEstErrM float64
+
+	// EnergyWh integrates whole-drone power over the flight; ComputeWh is
+	// the companion-computer share of it.
+	EnergyWh  float64
+	ComputeWh float64
+
+	// Fallbacks/Recoveries count offload placement changes (zero without
+	// an offload session).
+	Fallbacks  int
+	Recoveries int
+
+	// Log is the DataFlash-style flight log; Trace the oscilloscope
+	// power recording.
+	Log   *autopilot.FlightLog
+	Trace *trace.Recorder
+}
+
+// AvgPowerW is the flight's mean whole-drone power.
+func (r *Result) AvgPowerW() float64 {
+	if r.FlightTimeS <= 0 {
+		return 0
+	}
+	return r.EnergyWh * 3600 / r.FlightTimeS
+}
+
+// AvgComputeW is the flight's mean companion-computer power.
+func (r *Result) AvgComputeW() float64 {
+	if r.FlightTimeS <= 0 {
+		return 0
+	}
+	return r.ComputeWh * 3600 / r.FlightTimeS
+}
+
+// ComputeFlightCostMin prices the measured compute energy in flight time
+// via the paper's Equation 7 approximation: the minutes of this flight's
+// duration that the companion computer's share of total power "bought" —
+// what a zero-power accelerator would have returned to the mission.
+func (r *Result) ComputeFlightCostMin() float64 {
+	return core.ApproxGainedFlightTimeMin(r.AvgPowerW(), r.AvgComputeW(), r.FlightTimeS/60)
+}
+
+// Summary renders a one-line post-flight report.
+func (r *Result) Summary() string {
+	return fmt.Sprintf(
+		"flight %.1f s, mode %v, energy %.2f Wh (avg %.1f W, compute %.1f W ≙ %.2f min of flight time)",
+		r.FlightTimeS, r.FinalMode, r.EnergyWh, r.AvgPowerW(), r.AvgComputeW(),
+		r.ComputeFlightCostMin())
+}

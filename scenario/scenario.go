@@ -1,0 +1,465 @@
+// Package scenario is the unified flight-experiment engine: one declarative
+// Spec describing the paper's experiment shape — a vehicle, an environment,
+// a battery, a compute platform, optional SLAM offload and fault plans, a
+// mission — and one audited Build that performs all the cross-package
+// wiring (quad ↔ sensors ↔ estimator ↔ autopilot ↔ battery ↔ injector ↔
+// trace recorders) that was previously hand-rolled, divergently, by
+// cmd/flysim, faultx.Run, bench.RunFigure16 and the examples.
+//
+// Determinism contract: a Spec is a pure value plus a seed. Build derives
+// every stochastic stream (sensor noise, turbulence, instrument noise,
+// offload jitter) from Spec.Seed, and Run drives the stack through a fixed
+// arm → takeoff → mission/hover → land sequence, so the same Spec always
+// reproduces the same flight bit for bit — the property the campaign
+// pool-invariance and golden-regression tests pin.
+//
+// Observer ordering: Build registers step observers on the autopilot's bus
+// in a fixed order — (1) the power-trace recorder, (2) the flight log,
+// (3) the scenario probe (fault application at 100 Hz, offload session and
+// trajectory tap at 10 Hz, telemetry at the configured cadence, energy
+// integration every step), (4) user observers in Spec order. Registration
+// order is execution order (see autopilot.Observe), so a given Spec always
+// replays observer side effects identically.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"dronedse/autopilot"
+	"dronedse/control"
+	"dronedse/mathx"
+	"dronedse/offload"
+	"dronedse/planner"
+	"dronedse/platform"
+	"dronedse/power"
+	"dronedse/sensors"
+	"dronedse/sim"
+	"dronedse/slam"
+	"dronedse/trace"
+)
+
+// Wind selects the environment. The zero value is calm air (deterministic
+// turbulence source seeded from the Spec, but zero turbulence amplitude).
+type Wind struct {
+	// MeanMS is the steady wind speed along +X; zero selects calm air.
+	MeanMS float64
+	// GustMS is the gust amplitude layered on the mean (flysim's -wind flag
+	// uses MeanMS/2). Ignored when MeanMS is zero.
+	GustMS float64
+}
+
+// Battery selects the LiPo pack. The zero value is the paper's 450 mm
+// reference pack: 3S, 3000 mAh, 30 C.
+type Battery struct {
+	Cells       int
+	CapacityMah float64
+	CRating     float64
+}
+
+func (b Battery) withDefaults() Battery {
+	if b.Cells == 0 {
+		b.Cells = 3
+	}
+	if b.CapacityMah == 0 {
+		b.CapacityMah = 3000
+	}
+	if b.CRating == 0 {
+		b.CRating = 30
+	}
+	return b
+}
+
+// Compute selects the companion-computer power envelope. The zero value is
+// the paper's RPi + Navio2 stack running the autopilot alone
+// (platform.FlightComputeW(false)); SLAM selects the SLAM-active phase.
+type Compute struct {
+	// BaseW, when positive, overrides the platform-derived draw entirely.
+	BaseW float64
+	// SLAM selects the SLAM-active RPi phase (§5.1's 4.56 W average).
+	SLAM bool
+}
+
+// BoardW resolves the draw, sourcing the named §5.1 operating points from
+// package platform — the one definition the old call sites each inlined.
+func (c Compute) BoardW() float64 {
+	if c.BaseW > 0 {
+		return c.BaseW
+	}
+	return platform.FlightComputeW(c.SLAM)
+}
+
+// Offload attaches an offload session: SLAM-class work shipped to a remote
+// node over a radio, with retry/fallback/recovery priced into the compute
+// power the autopilot carries (Equation 7's subject).
+type Offload struct {
+	// Session configures the link, node, workload and retry policy. A zero
+	// Seed inherits Spec.Seed.
+	Session offload.SessionConfig
+	// Stats is the per-mission SLAM work ledger the session prices.
+	Stats slam.Stats
+}
+
+// Telemetry streams MAVLink frames to a caller-owned sink (a TCP
+// connection, a lossy link into a ground station, a file).
+type Telemetry struct {
+	// EverySteps is the physics-step cadence between frames (default 250,
+	// i.e. 4 Hz at the 1 kHz physics rate).
+	EverySteps int
+	// Send receives each encoded frame; nil disables telemetry.
+	Send func(raw []byte)
+}
+
+// FaultInjector is the scenario's view of a deterministic fault source
+// (implemented by *faultx.Injector; an interface here so faultx can itself
+// build campaigns on scenario without an import cycle). Build binds it to
+// the plant and installs it behind every host-owned fault interface.
+type FaultInjector interface {
+	// Bind attaches the injector to the plant, pack and environment.
+	Bind(q *sim.Quad, p *power.Pack, e *sim.Environment)
+	// Apply pushes time-driven physical effects (sag, derate, gusts) at t.
+	Apply(t float64)
+	sensors.FaultView
+	autopilot.FaultSignals
+	offload.LinkProbe
+}
+
+// Phase marks the driver's progress points for Spec.OnPhase.
+type Phase int
+
+// Run phases, in order.
+const (
+	// PhaseArmed: pre-flight checks passed, motors live.
+	PhaseArmed Phase = iota
+	// PhaseAirborne: takeoff completed, holding at the takeoff altitude.
+	PhaseAirborne
+	// PhaseMissionStarted: the waypoint mission is executing.
+	PhaseMissionStarted
+	// PhaseDone: the flight ended (disarmed or timed out).
+	PhaseDone
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseArmed:
+		return "armed"
+	case PhaseAirborne:
+		return "airborne"
+	case PhaseMissionStarted:
+		return "mission-started"
+	default:
+		return "done"
+	}
+}
+
+// Spec declares one closed-loop flight experiment. The zero value (plus a
+// seed) flies cmd/flysim's reference configuration: the default 450 mm
+// quad, calm air, a 3S/3000 pack, the RPi+Navio2 autopilot draw, and the
+// 12 m box mission at 5 m for up to 240 simulated seconds.
+type Spec struct {
+	// Seed drives every stochastic stream in the stack.
+	Seed int64
+
+	// Quad overrides the plant configuration (nil = sim.DefaultConfig()).
+	Quad *sim.Config
+	// Wind selects the environment (zero = calm).
+	Wind Wind
+	// Battery selects the pack (zero = 3S/3000/30).
+	Battery Battery
+	// Compute selects the companion-computer draw (zero = RPi+Navio2).
+	Compute Compute
+	// Rates overrides the control-cascade rates (zero = Table 2b defaults).
+	Rates control.Rates
+
+	// TakeoffAltM is the takeoff altitude (default 5).
+	TakeoffAltM float64
+	// Mission is the waypoint plan; nil selects BoxMission(TakeoffAltM).
+	// Ignored when Hover or Trajectory is set.
+	Mission autopilot.MissionPlan
+	// Trajectory, when non-nil, flies a time-parametrized planner
+	// trajectory after takeoff and ends hovering at its terminus instead
+	// of flying a waypoint mission.
+	Trajectory *planner.Trajectory
+	// Hover loiters at the takeoff altitude for MaxSeconds, then lands,
+	// instead of flying a mission (flysim's -hover).
+	Hover bool
+	// MaxSeconds bounds the whole flight (default 240).
+	MaxSeconds float64
+
+	// EnergyPolicy, when non-nil, arms the Table 1 flight-time-management
+	// failsafe.
+	EnergyPolicy *autopilot.EnergyPolicy
+	// Faults, when non-nil, is bound to the plant and installed behind the
+	// sensor, autopilot and offload fault interfaces.
+	Faults FaultInjector
+	// Offload, when non-nil, attaches an offload session whose airborne
+	// power is folded into the compute draw at 10 Hz.
+	Offload *Offload
+	// Telemetry, when Send is non-nil, streams MAVLink frames.
+	Telemetry Telemetry
+
+	// TraceSeed seeds the oscilloscope's instrument noise (0 = Seed;
+	// bench.RunFigure16 historically used Seed+1).
+	TraceSeed int64
+
+	// Observers are user step observers, registered after the built-in
+	// ones in slice order.
+	Observers []autopilot.StepObserver
+	// OnPhase, when non-nil, is called as the driver crosses each Phase.
+	OnPhase func(*Stack, Phase)
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.TakeoffAltM <= 0 {
+		s.TakeoffAltM = 5
+	}
+	if s.MaxSeconds <= 0 {
+		s.MaxSeconds = 240
+	}
+	s.Battery = s.Battery.withDefaults()
+	if s.Telemetry.EverySteps <= 0 {
+		s.Telemetry.EverySteps = 250
+	}
+	if s.TraceSeed == 0 {
+		s.TraceSeed = s.Seed
+	}
+	if s.Mission == nil && !s.Hover && s.Trajectory == nil {
+		s.Mission = BoxMission(s.TakeoffAltM)
+	}
+	return s
+}
+
+// BoxMission is the reference 12 m box at the given takeoff altitude — the
+// mission cmd/flysim, faultx campaigns and bench.RunFigure16 all fly, so
+// their outputs stay mutually bit-comparable.
+func BoxMission(altM float64) autopilot.MissionPlan {
+	return autopilot.MissionPlan{
+		{Pos: mathx.V3(12, 0, altM+1), HoldS: 1},
+		{Pos: mathx.V3(12, 12, altM+3), HoldS: 1},
+		{Pos: mathx.V3(0, 12, altM+1), HoldS: 1},
+	}
+}
+
+// Stack is a fully wired flight stack, ready to Run. All fields are the
+// live objects (read-mostly once Run starts).
+type Stack struct {
+	Spec      Spec // normalized (defaults resolved)
+	Quad      *sim.Quad
+	Env       *sim.Environment
+	Battery   *power.Pack
+	Autopilot *autopilot.Autopilot
+	Session   *offload.Session
+	Log       *autopilot.FlightLog
+	Trace     *trace.Recorder
+
+	baseComputeW float64
+	steps        int
+	traj         []mathx.Vec3
+	maxEstErr    float64
+	energyWh     float64
+	computeWh    float64
+	telemSeq     uint8
+	ran          bool
+}
+
+// Build performs all cross-package wiring for a Spec and registers the
+// built-in step observers in the documented order. It does not advance
+// simulated time.
+func Build(spec Spec) (*Stack, error) {
+	spec = spec.withDefaults()
+	cfg := sim.DefaultConfig()
+	if spec.Quad != nil {
+		cfg = *spec.Quad
+	}
+	q, err := sim.NewQuad(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: plant: %w", err)
+	}
+	var env *sim.Environment
+	if spec.Wind.MeanMS > 0 {
+		env = sim.WindyEnvironment(spec.Seed, spec.Wind.MeanMS, spec.Wind.GustMS)
+	} else {
+		env = sim.NewEnvironment(spec.Seed)
+	}
+	q.SetEnvironment(env)
+
+	pack, err := power.NewPack(spec.Battery.Cells, spec.Battery.CapacityMah, spec.Battery.CRating)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: battery: %w", err)
+	}
+	baseW := spec.Compute.BoardW()
+	ap, err := autopilot.New(autopilot.Config{
+		Quad: q, Rates: spec.Rates, Battery: pack, ComputeW: baseW,
+		TakeoffAltM: spec.TakeoffAltM, Seed: spec.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: autopilot: %w", err)
+	}
+	if spec.EnergyPolicy != nil {
+		ap.SetEnergyPolicy(*spec.EnergyPolicy)
+	}
+
+	st := &Stack{
+		Spec: spec, Quad: q, Env: env, Battery: pack, Autopilot: ap,
+		Log: &autopilot.FlightLog{}, baseComputeW: baseW,
+	}
+
+	if spec.Faults != nil {
+		spec.Faults.Bind(q, pack, env)
+		ap.Suite().Faults = spec.Faults
+		ap.SetFaultSignals(spec.Faults)
+	}
+	if spec.Offload != nil {
+		scfg := spec.Offload.Session
+		if scfg.Seed == 0 {
+			scfg.Seed = spec.Seed
+		}
+		sess, err := offload.NewSession(scfg, spec.Offload.Stats)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: offload: %w", err)
+		}
+		if spec.Faults != nil {
+			sess.SetProbe(spec.Faults)
+		}
+		st.Session = sess
+	}
+
+	// Observer bus, in the package-documented order.
+	st.Trace = trace.NewOscilloscope(spec.TraceSeed)
+	ap.Observe(func(a *autopilot.Autopilot, dt float64) {
+		st.Trace.Observe(a.Time(), a.TotalPowerW())
+	})
+	ap.AttachFlightLog(st.Log)
+	ap.Observe(st.probe)
+	for _, fn := range spec.Observers {
+		ap.Observe(fn)
+	}
+	return st, nil
+}
+
+// probe is the scenario's built-in step observer: physical fault effects at
+// 100 Hz, the offload retry loop, trajectory tap and estimator-error watch
+// at 10 Hz, telemetry at the configured cadence, and trapezoid-free energy
+// integration every step. Cadences are step-counted (not time-compared) so
+// they cannot drift off the float time grid.
+func (st *Stack) probe(a *autopilot.Autopilot, dt float64) {
+	t := a.Time()
+	if st.Spec.Faults != nil && st.steps%10 == 0 { // 100 Hz
+		st.Spec.Faults.Apply(t)
+	}
+	if st.steps%100 == 0 { // 10 Hz
+		if st.Session != nil {
+			st.Session.Step(t)
+			a.SetComputeW(st.baseComputeW + st.Session.AirborneW())
+		}
+		st.traj = append(st.traj, a.Quad().State().Pos)
+		if a.Mode() != autopilot.Disarmed {
+			if e := a.EstimatedState().Pos.Sub(a.Quad().State().Pos).Norm(); e > st.maxEstErr {
+				st.maxEstErr = e
+			}
+		}
+	}
+	if st.Spec.Telemetry.Send != nil && st.steps%st.Spec.Telemetry.EverySteps == 0 {
+		if raw, err := a.Telemetry(&st.telemSeq); err == nil {
+			st.Spec.Telemetry.Send(raw)
+		}
+	}
+	st.energyWh += a.TotalPowerW() * dt / 3600
+	st.computeWh += a.ComputeW() * dt / 3600
+	st.steps++
+}
+
+// Run drives the stack through the fixed flight sequence: arm, take off
+// (30 s budget), fly the mission (or hover) within Spec.MaxSeconds of total
+// simulated time, and return the structured Result. It may be called once.
+func (st *Stack) Run() (*Result, error) {
+	if st.ran {
+		return nil, errors.New("scenario: stack already ran")
+	}
+	st.ran = true
+	ap := st.Autopilot
+	spec := st.Spec
+
+	if !spec.Hover && spec.Trajectory == nil {
+		if err := ap.LoadMission(spec.Mission); err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+	}
+	if err := ap.Arm(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	st.phase(PhaseArmed)
+
+	takeoffOK := ap.RunUntil(func(a *autopilot.Autopilot) bool {
+		return a.Mode() != autopilot.Takeoff
+	}, 30) && ap.Mode() == autopilot.Hover
+	if takeoffOK {
+		st.phase(PhaseAirborne)
+	}
+
+	switch {
+	case spec.Hover:
+		if takeoffOK {
+			ap.RunFor(spec.MaxSeconds)
+		}
+		ap.CommandLand()
+		ap.RunUntil(func(a *autopilot.Autopilot) bool {
+			return a.Mode() == autopilot.Disarmed
+		}, 60)
+	case spec.Trajectory != nil:
+		if takeoffOK {
+			if err := ap.FlyTrajectory(spec.Trajectory); err != nil {
+				return nil, fmt.Errorf("scenario: %w", err)
+			}
+			ap.RunUntil(func(a *autopilot.Autopilot) bool {
+				return a.Mode() == autopilot.Hover
+			}, spec.Trajectory.TotalS+30)
+		}
+	default:
+		if takeoffOK {
+			if err := ap.StartMission(); err == nil {
+				st.phase(PhaseMissionStarted)
+			}
+		}
+		ap.RunUntil(func(a *autopilot.Autopilot) bool {
+			return a.Mode() == autopilot.Disarmed
+		}, spec.MaxSeconds-ap.Time())
+	}
+	st.phase(PhaseDone)
+
+	res := &Result{
+		FlightTimeS: ap.Time(),
+		TakeoffOK:   takeoffOK,
+		Completed:   ap.MissionCompleted(),
+		FinalMode:   ap.Mode(),
+		LastEvent:   ap.LastEvent(),
+		Trajectory:  st.traj,
+		MaxEstErrM:  st.maxEstErr,
+		EnergyWh:    st.energyWh,
+		ComputeWh:   st.computeWh,
+		Log:         st.Log,
+		Trace:       st.Trace,
+	}
+	if st.Session != nil {
+		res.Fallbacks = st.Session.Fallbacks
+		res.Recoveries = st.Session.Recoveries
+	}
+	return res, nil
+}
+
+func (st *Stack) phase(p Phase) {
+	if st.Spec.OnPhase != nil {
+		st.Spec.OnPhase(st, p)
+	}
+}
+
+// Run builds a Spec and flies it — the one-call form every non-interactive
+// call site uses.
+func Run(spec Spec) (*Result, error) {
+	st, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	return st.Run()
+}

@@ -23,10 +23,11 @@ type Recorder struct {
 	// NoiseW is the 1-sigma instrument error in watts.
 	NoiseW float64
 
-	rng     *rand.Rand
-	samples []Sample
-	nextT   float64
-	started bool
+	rng       *rand.Rand
+	samples   []Sample
+	nextT     float64
+	lastPower float64
+	started   bool
 }
 
 // NewUSBMeter matches the paper's RPi instrument: 0.5 s period, ±10 mW.
@@ -40,19 +41,29 @@ func NewOscilloscope(seed int64) *Recorder {
 }
 
 // Observe feeds the recorder the instantaneous power at simulated time t;
-// the recorder stores a sample whenever its period elapses.
+// the recorder stores a sample whenever its period elapses. When a single
+// call covers several elapsed periods (a sparse feed), the instrument
+// behaves as a zero-order hold: catch-up sample points strictly before t
+// read the previously observed power, and only the point reached at t reads
+// the new value. A dense feed (one call per period or faster) is unaffected.
 func (r *Recorder) Observe(t, powerW float64) {
 	if !r.started {
 		r.nextT = t
+		r.lastPower = powerW
 		r.started = true
 	}
 	for t >= r.nextT-1e-12 {
+		v := powerW
+		if r.nextT < t-1e-12 { // back-filled point: hold the prior reading
+			v = r.lastPower
+		}
 		r.samples = append(r.samples, Sample{
 			TimeS:  r.nextT,
-			PowerW: powerW + r.rng.NormFloat64()*r.NoiseW,
+			PowerW: v + r.rng.NormFloat64()*r.NoiseW,
 		})
 		r.nextT += r.PeriodS
 	}
+	r.lastPower = powerW
 }
 
 // Samples returns the recorded series.

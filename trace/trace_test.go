@@ -2,8 +2,13 @@ package trace
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 )
+
+// newTestRNG backs a hand-built Recorder; with NoiseW zero the draws are
+// multiplied away, so the samples are exact.
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(1)) }
 
 func feedConstant(r *Recorder, from, to, powerW, stepS float64) {
 	for t := from; t < to; t += stepS {
@@ -88,6 +93,51 @@ func TestPhaseMeans(t *testing.T) {
 		math.Abs(means["slam-idle"]-4.05) > 0.01 ||
 		math.Abs(means["slam-flying"]-4.56) > 0.01 {
 		t.Errorf("phase means = %v", means)
+	}
+}
+
+// TestSparseObserveZeroOrderHold pins the catch-up semantics: when one
+// Observe call covers several elapsed periods, the back-filled sample
+// points must read the previously observed power (zero-order hold), not
+// smear the new reading backwards in time.
+func TestSparseObserveZeroOrderHold(t *testing.T) {
+	r := &Recorder{PeriodS: 1, rng: newTestRNG()} // noise-free instrument
+	r.Observe(0, 100)
+	// One sparse call 5 s later at a new level: sample points at t=1..4
+	// lie before the new observation and must hold 100 W; the point at
+	// t=5 coincides with it and reads 250 W.
+	r.Observe(5, 250)
+	want := []Sample{
+		{0, 100}, {1, 100}, {2, 100}, {3, 100}, {4, 100}, {5, 250},
+	}
+	got := r.Samples()
+	if len(got) != len(want) {
+		t.Fatalf("got %d samples, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sample %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDenseObserveUnchanged pins bit-compatibility of the ZOH fix for the
+// dense feed every flight uses (one call per physics step): every emitted
+// sample must read the power passed in the very call that emitted it.
+func TestDenseObserveUnchanged(t *testing.T) {
+	r := &Recorder{PeriodS: 0.02, rng: newTestRNG()}
+	// Level steps every 500 calls (0.5 s), far from any epsilon ambiguity:
+	// a sample can only be emitted by a call within one step of its grid
+	// point, and adjacent calls share the same level there.
+	level := func(i int) float64 { return 100 + 10*float64(i/500) }
+	for i := 0; i < 2000; i++ {
+		r.Observe(float64(i)*0.001, level(i))
+	}
+	for k, s := range r.Samples() {
+		if want := level(20 * k); s.PowerW != want {
+			t.Fatalf("sample %d at t=%v = %v W, want %v (dense feed must not hold stale values)",
+				k, s.TimeS, s.PowerW, want)
+		}
 	}
 }
 
