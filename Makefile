@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke bench-slam bench-fault bench-json smoke-cmds ci
+.PHONY: all build vet test race bench-smoke bench-slam bench-fault bench-batch bench-json smoke-cmds ci
 
 all: build
 
@@ -41,6 +41,13 @@ bench-fault:
 	$(GO) test -race ./faultx/ -run 'TestCampaignPoolInvariance|TestSevereScenario|TestFaultFreeBitIdentical'
 	$(GO) run ./cmd/faultcamp -procs 2 -seconds 120 >/dev/null
 
+# Batch-engine smoke: the batch↔serial bit-identity property tests (batch
+# 1/8/64 × pools 1/2/8) under the race detector, plus the alloc-regression
+# guard that fails if a steady-state batched step allocates at all.
+bench-batch:
+	$(GO) test -race ./scenario/ -run 'TestBatchSerialBitIdentity|TestBatchTickGranularityInvariance|TestBatchLaneErrorIsolation'
+	$(GO) test ./scenario/ -run TestBatchZeroAllocSteadyState
+
 # Perf trajectory artifact: BENCH_core.json (ns/op, allocs/op per pool size).
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_core.json
@@ -62,6 +69,7 @@ smoke-cmds:
 	$(GO) run ./examples/design_sweep >/dev/null
 	$(GO) run ./examples/mission_flight >/dev/null
 	$(GO) run ./examples/obstacle_avoidance >/dev/null
+	$(GO) run ./examples/fleet_batch >/dev/null
 	$(GO) run ./examples/slam_offload >/dev/null
 
-ci: vet build race bench-smoke bench-slam bench-fault smoke-cmds
+ci: vet build race bench-smoke bench-slam bench-fault bench-batch smoke-cmds

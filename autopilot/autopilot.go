@@ -211,6 +211,11 @@ func (a *Autopilot) Mode() Mode { return a.mode }
 // Time returns the simulated time.
 func (a *Autopilot) Time() float64 { return a.quad.Time() }
 
+// PhysicsHz returns the physics step rate (steps per simulated second) —
+// external tick drivers use it to convert second budgets into step counts
+// exactly as RunFor and RunUntil do.
+func (a *Autopilot) PhysicsHz() float64 { return a.physicsHz }
+
 // Quad exposes the plant (read-mostly; tests and traces).
 func (a *Autopilot) Quad() *sim.Quad { return a.quad }
 

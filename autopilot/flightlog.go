@@ -40,6 +40,29 @@ type LogEvent struct {
 	Text  string
 }
 
+// Reserve grows the log's entry and event capacity so a flight of the given
+// duration records without steady-state append reallocation. Entry capacity
+// follows the sample period; events get a fixed allowance (mode changes and
+// safety annotations are rare).
+func (l *FlightLog) Reserve(durationS float64) {
+	period := l.PeriodS
+	if period <= 0 {
+		period = 0.1
+	}
+	n := int(durationS/period) + 2
+	if cap(l.entries) < n {
+		entries := make([]LogEntry, len(l.entries), n)
+		copy(entries, l.entries)
+		l.entries = entries
+	}
+	const eventAllowance = 64
+	if cap(l.events) < eventAllowance {
+		events := make([]LogEvent, len(l.events), eventAllowance)
+		copy(events, l.events)
+		l.events = events
+	}
+}
+
 // AttachFlightLog registers the recorder on the autopilot's step bus; it
 // samples in registration order relative to any other observers.
 func (a *Autopilot) AttachFlightLog(l *FlightLog) {

@@ -197,16 +197,18 @@ func RunFigure16(seed int64) (Figure16, error) {
 	out.RPiPhases = spans
 
 	// (b) Whole drone: fly the reference box mission on the full stack —
-	// SLAM-active compute phase, oscilloscope on the battery — via the
-	// scenario engine.
-	res, err := scenario.Run(scenario.Spec{
+	// SLAM-active compute phase, oscilloscope on the battery — as a batch
+	// of one on the scenario batch engine (bit-identical to scenario.Run by
+	// the lane-determinism contract).
+	results, errs := scenario.RunBatch([]scenario.Spec{{
 		Seed:      seed,
 		TraceSeed: seed + 1,
 		Compute:   scenario.Compute{SLAM: true}, // RPi w/ SLAM + Navio2
-	})
-	if err != nil {
-		return out, err
+	}})
+	if errs[0] != nil {
+		return out, errs[0]
 	}
+	res := results[0]
 	out.FlightOK = res.FinalMode == autopilot.Disarmed
 	out.DroneTrace = res.Trace
 	out.DroneAvgW = res.Trace.MeanPower(2, res.FlightTimeS)

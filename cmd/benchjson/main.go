@@ -67,8 +67,10 @@ func main() {
 		GoVersion:  runtime.Version(),
 	}
 
-	// measure runs fn under testing.Benchmark at each pool size.
-	measure := func(name string, poolSizes []int, fn func(b *testing.B)) {
+	// measureN runs fn under testing.Benchmark at each pool size and divides
+	// every per-op figure by perOp — the batch kernels report per-flight
+	// costs this way (one op = a whole batch of perOp flights).
+	measureN := func(name string, poolSizes []int, perOp int, fn func(b *testing.B)) {
 		for _, pool := range poolSizes {
 			prev := parallelx.SetPoolSize(pool)
 			r := testing.Benchmark(fn)
@@ -76,14 +78,17 @@ func main() {
 			rep.Results = append(rep.Results, Result{
 				Name:        name,
 				Pool:        pool,
-				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-				AllocsPerOp: r.AllocsPerOp(),
-				BytesPerOp:  r.AllocedBytesPerOp(),
+				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N) / float64(perOp),
+				AllocsPerOp: r.AllocsPerOp() / int64(perOp),
+				BytesPerOp:  r.AllocedBytesPerOp() / int64(perOp),
 				N:           r.N,
 			})
 			fmt.Fprintf(os.Stderr, "%-28s pool=%-2d %12.0f ns/op  (n=%d)\n",
-				name, pool, float64(r.T.Nanoseconds())/float64(r.N), r.N)
+				name, pool, float64(r.T.Nanoseconds())/float64(r.N)/float64(perOp), r.N)
 		}
+	}
+	measure := func(name string, poolSizes []int, fn func(b *testing.B)) {
+		measureN(name, poolSizes, 1, fn)
 	}
 	serial := []int{1}
 
@@ -121,6 +126,40 @@ func main() {
 			}
 		}
 	})
+	// Batch-engine kernels: N reference flights stepped in lock-step on one
+	// scenario.Batch, reported per flight. Build/arm happen outside the
+	// timer, so ns and allocs measure exactly the steady-state stepping the
+	// fleet-simulation north star pays — the alloc column is the
+	// zero-steady-state-allocation contract (the residual is the one
+	// Outcomes slice, amortized over the batch).
+	batchKernel := func(size int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				specs := make([]scenario.Spec, size)
+				for j := range specs {
+					specs[j] = scenario.Spec{Seed: int64(j + 1)}
+				}
+				bt := scenario.NewBatch(specs)
+				bt.Start()
+				b.StartTimer()
+				results, errs := bt.Run()
+				b.StopTimer()
+				for j := range errs {
+					if errs[j] != nil {
+						b.Fatal(errs[j])
+					}
+					if !results[j].Completed {
+						b.Fatal("lane mission did not complete")
+					}
+				}
+			}
+		}
+	}
+	for _, size := range []int{1, 16, 64} {
+		measureN(fmt.Sprintf("scenario_batch%d", size), serial, size, batchKernel(size))
+	}
 	if *quick {
 		writeReport(rep, *out)
 		return

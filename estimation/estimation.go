@@ -90,6 +90,13 @@ func wrapAngle(a float64) float64 {
 // Prediction integrates the world-frame acceleration recovered from the IMU
 // specific force and the attitude estimate; updates fuse GPS position,
 // GPS velocity, and barometric altitude at their Table 2a rates.
+//
+// The filter is alloc-free in steady state: all matrix and vector scratch
+// lives in one contiguous arena carved out at construction, and the constant
+// prediction matrices F, F^T and Q are cached per (dt, AccelNoise). Every
+// operation is the bit-exact sibling of the original allocating algebra, so
+// results are unchanged while a scenario batch can step thousands of filters
+// without touching the heap.
 type PosVelEKF struct {
 	x []float64    // state
 	p *mathx.Dense // covariance
@@ -97,12 +104,72 @@ type PosVelEKF struct {
 	// AccelNoise is the process noise driven by accelerometer error
 	// (m/s^2, 1-sigma).
 	AccelNoise float64
+
+	// Cached prediction matrices, valid for (fqDt, fqNoise).
+	f, ft, q mathx.Dense
+	fqDt     float64
+	fqNoise  float64
+
+	// Scratch (arena-backed): two 6x6 temporaries for P propagation, and
+	// the update-path workspace sized for the largest (GPS, m=6)
+	// measurement, Reshaped down for smaller ones.
+	t1, t2       mathx.Dense
+	s, pht       mathx.Dense // innovation covariance, P H^T
+	kg, kh, imkh mathx.Dense // Kalman gain, K H, I - K H
+	l            mathx.Dense // Cholesky factor of s
+	innov        []float64
+	row, sol, ys []float64
+	zbuf, rbuf   []float64
 }
+
+// ekfArenaFloats is the arena footprint: state(6) + 12 6x6 matrices
+// (covariance, F/F^T/Q cache, and the scratch set) + 4 length-6 work
+// vectors + the z/r measurement buffers.
+const ekfArenaFloats = 6 + 12*36 + 4*6 + 2*6
 
 // NewPosVelEKF returns a filter at the origin with loose covariance.
 func NewPosVelEKF() *PosVelEKF {
-	p := mathx.DenseIdentity(6).Scale(10)
-	return &PosVelEKF{x: make([]float64, 6), p: p, AccelNoise: 0.8}
+	arena := make([]float64, ekfArenaFloats)
+	take := func(n int) []float64 {
+		s := arena[:n:n]
+		arena = arena[n:]
+		return s
+	}
+	mat := func() mathx.Dense { return mathx.DenseOn(take(36), 6, 6) }
+	k := &PosVelEKF{AccelNoise: 0.8}
+	k.x = take(6)
+	pm := mat()
+	k.p = &pm
+	k.f, k.ft, k.q = mat(), mat(), mat()
+	k.t1, k.t2 = mat(), mat()
+	k.s, k.pht = mat(), mat()
+	k.kg, k.kh, k.imkh = mat(), mat(), mat()
+	k.l = mat()
+	k.innov = take(6)
+	k.row, k.sol, k.ys = take(6), take(6), take(6)
+	k.zbuf, k.rbuf = take(6), take(6)
+	k.p.SetIdentity()
+	k.p.ScaleInPlace(10)
+	return k
+}
+
+// refreshFQ rebuilds the cached F, F^T and Q for the given step, using the
+// exact element expressions the per-call construction used.
+func (k *PosVelEKF) refreshFQ(dt float64) {
+	s2 := k.AccelNoise * k.AccelNoise
+	k.f.SetIdentity()
+	for i := 0; i < 3; i++ {
+		k.f.Set(i, 3+i, dt)
+	}
+	k.ft.TransposeOf(&k.f)
+	k.q.Reshape(6, 6)
+	for i := 0; i < 3; i++ {
+		k.q.Set(i, i, 0.25*dt*dt*dt*dt*s2)
+		k.q.Set(i, 3+i, 0.5*dt*dt*dt*s2)
+		k.q.Set(3+i, i, 0.5*dt*dt*dt*s2)
+		k.q.Set(3+i, 3+i, dt*dt*s2)
+	}
+	k.fqDt, k.fqNoise = dt, k.AccelNoise
 }
 
 // Predict advances the state with a world-frame acceleration over dt.
@@ -110,25 +177,18 @@ func (k *PosVelEKF) Predict(accelWorld mathx.Vec3, dt float64) {
 	if dt <= 0 {
 		return
 	}
-	a := []float64{accelWorld.X, accelWorld.Y, accelWorld.Z}
+	a := [3]float64{accelWorld.X, accelWorld.Y, accelWorld.Z}
 	for i := 0; i < 3; i++ {
 		k.x[i] += k.x[3+i]*dt + 0.5*a[i]*dt*dt
 		k.x[3+i] += a[i] * dt
 	}
 	// F = [I, dt*I; 0, I]; P = F P F^T + Q
-	f := mathx.DenseIdentity(6)
-	for i := 0; i < 3; i++ {
-		f.Set(i, 3+i, dt)
+	if dt != k.fqDt || k.AccelNoise != k.fqNoise {
+		k.refreshFQ(dt)
 	}
-	q := mathx.NewDense(6, 6)
-	s2 := k.AccelNoise * k.AccelNoise
-	for i := 0; i < 3; i++ {
-		q.Set(i, i, 0.25*dt*dt*dt*dt*s2)
-		q.Set(i, 3+i, 0.5*dt*dt*dt*s2)
-		q.Set(3+i, i, 0.5*dt*dt*dt*s2)
-		q.Set(3+i, 3+i, dt*dt*s2)
-	}
-	k.p = f.Mul(k.p).Mul(f.Transpose()).Add(q)
+	k.t1.MulOf(&k.f, k.p)
+	k.t2.MulOf(&k.t1, &k.ft)
+	k.p.AddOf(&k.t2, &k.q)
 	k.p.Symmetrize()
 }
 
@@ -136,71 +196,90 @@ func (k *PosVelEKF) Predict(accelWorld mathx.Vec3, dt float64) {
 func (k *PosVelEKF) update(idx []int, z, r []float64) {
 	m := len(idx)
 	// S = H P H^T + R, computed directly from the indexed rows/cols.
-	s := mathx.NewDense(m, m)
+	k.s.Reshape(m, m)
 	for i := 0; i < m; i++ {
 		for j := 0; j < m; j++ {
-			s.Set(i, j, k.p.At(idx[i], idx[j]))
+			k.s.Set(i, j, k.p.At(idx[i], idx[j]))
 		}
-		s.Addf(i, i, r[i])
+		k.s.Addf(i, i, r[i])
 	}
-	// K = P H^T S^-1 — solve S^T X^T = (P H^T)^T column-wise via Cholesky.
-	pht := mathx.NewDense(6, m)
+	// K = P H^T S^-1 — factor S once, then back-substitute per state row.
+	k.pht.Reshape(6, m)
 	for i := 0; i < 6; i++ {
 		for j := 0; j < m; j++ {
-			pht.Set(i, j, k.p.At(i, idx[j]))
+			k.pht.Set(i, j, k.p.At(i, idx[j]))
 		}
 	}
 	// innovation
-	innov := make([]float64, m)
+	innov := k.innov[:m]
 	for j := 0; j < m; j++ {
 		innov[j] = z[j] - k.x[idx[j]]
 	}
 	// gain rows: for each state i, K_i = row_i(P H^T) S^-1, i.e. solve
-	// S y = (P H^T)_i^T since S is symmetric.
-	kg := mathx.NewDense(6, m)
+	// S y = (P H^T)_i^T since S is symmetric. The factorization is shared
+	// across rows (S does not change), which is arithmetically identical
+	// to factoring per row.
+	k.l.Reshape(m, m)
+	if !k.s.CholeskyInto(&k.l) {
+		return // measurement rejected; covariance degenerate
+	}
+	k.kg.Reshape(6, m)
+	row, sol, ys := k.row[:m], k.sol[:m], k.ys[:m]
 	for i := 0; i < 6; i++ {
-		row := make([]float64, m)
 		for j := 0; j < m; j++ {
-			row[j] = pht.At(i, j)
+			row[j] = k.pht.At(i, j)
 		}
-		y, ok := s.SolveCholesky(row)
-		if !ok {
-			return // measurement rejected; covariance degenerate
-		}
+		mathx.SolveWithCholesky(&k.l, row, sol, ys)
 		for j := 0; j < m; j++ {
-			kg.Set(i, j, y[j])
+			k.kg.Set(i, j, sol[j])
 		}
 	}
 	// x += K innov
 	for i := 0; i < 6; i++ {
 		for j := 0; j < m; j++ {
-			k.x[i] += kg.At(i, j) * innov[j]
+			k.x[i] += k.kg.At(i, j) * innov[j]
 		}
 	}
 	// P = (I - K H) P : (KH)_{i,l} = sum_j K_{i,j} [l == idx[j]]
-	kh := mathx.NewDense(6, 6)
+	k.kh.Reshape(6, 6)
 	for i := 0; i < 6; i++ {
 		for j := 0; j < m; j++ {
-			kh.Addf(i, idx[j], kg.At(i, j))
+			k.kh.Addf(i, idx[j], k.kg.At(i, j))
 		}
 	}
-	k.p = mathx.DenseIdentity(6).Sub(kh).Mul(k.p)
+	k.imkh.SetIdentity()
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			k.imkh.Addf(i, j, -k.kh.At(i, j))
+		}
+	}
+	k.t1.MulOf(&k.imkh, k.p)
+	k.p.CopyFrom(&k.t1)
 	k.p.Symmetrize()
 }
 
+// Measurement index sets (package-level so updates allocate nothing).
+var (
+	gpsIdx  = []int{0, 1, 2, 3, 4, 5}
+	baroIdx = []int{2}
+)
+
 // UpdateGPS fuses a GPS fix (position + velocity).
 func (k *PosVelEKF) UpdateGPS(fix sensors.GPSSample, posStd, velStd float64) {
-	k.update(
-		[]int{0, 1, 2, 3, 4, 5},
-		[]float64{fix.Pos.X, fix.Pos.Y, fix.Pos.Z, fix.Vel.X, fix.Vel.Y, fix.Vel.Z},
-		[]float64{posStd * posStd, posStd * posStd, posStd * posStd * 2.25,
-			velStd * velStd, velStd * velStd, velStd * velStd},
-	)
+	z, r := k.zbuf[:6], k.rbuf[:6]
+	z[0], z[1], z[2] = fix.Pos.X, fix.Pos.Y, fix.Pos.Z
+	z[3], z[4], z[5] = fix.Vel.X, fix.Vel.Y, fix.Vel.Z
+	r[0], r[1], r[2] = posStd*posStd, posStd*posStd, posStd*posStd*2.25
+	r[3], r[4], r[5] = velStd*velStd, velStd*velStd, velStd*velStd
+	k.update(gpsIdx, z, r)
 }
 
 // UpdateBaro fuses a barometric altitude.
 func (k *PosVelEKF) UpdateBaro(alt float64, std float64) {
-	k.update([]int{2}, []float64{alt}, []float64{std * std})
+	z, r := k.zbuf[:1], k.rbuf[:1]
+	z[0] = alt
+	r[0] = std * std
+	k.update(baroIdx, z, r)
 }
 
 // InflateCovariance scales the covariance by factor (> 1 grows the
@@ -211,7 +290,7 @@ func (k *PosVelEKF) InflateCovariance(factor float64) {
 	if factor <= 1 {
 		return
 	}
-	k.p = k.p.Scale(factor)
+	k.p.ScaleInPlace(factor)
 	k.p.Symmetrize()
 }
 

@@ -9,7 +9,6 @@ import (
 	"dronedse/groundstation"
 	"dronedse/mathx"
 	"dronedse/offload"
-	"dronedse/parallelx"
 	"dronedse/platform"
 	"dronedse/scenario"
 	"dronedse/slam"
@@ -122,11 +121,14 @@ func campaignSLAMStats() slam.Stats {
 	return slam.Stats{FeatureExtractionOps: 40e6, MatchingOps: 20e6, LocalBAOps: 30e6, Frames: 100}
 }
 
-// Run flies the fault-free baseline for every distinct seed, then every
-// scenario, fanning the independent flights across the parallelx pool.
-// Results are ordered like the input regardless of pool size, and every
-// flight is seed-deterministic, so the campaign table is byte-identical at
-// any pool size.
+// Run flies the fault-free baseline for every distinct seed plus every
+// scenario as lanes of one scenario.Batch: a single engine steps all
+// flights tick by tick, fanning fixed-width lane chunks across the
+// parallelx pool. Each lane carries its own RNG streams, injector and
+// telemetry link, so results are ordered like the input and bit-identical
+// at any pool size and any batch composition (the batch engine's lane-
+// determinism contract) — the campaign table is byte-identical to running
+// every flight serially.
 func Run(scenarios []Scenario, cfg Config) (*Campaign, error) {
 	cfg = cfg.withDefaults()
 	for _, sc := range scenarios {
@@ -143,19 +145,33 @@ func Run(scenarios []Scenario, cfg Config) (*Campaign, error) {
 			seeds = append(seeds, sc.Seed)
 		}
 	}
-	baseRuns := parallelx.Map(seeds, func(seed int64) runOut {
-		return runOne(Scenario{Name: "baseline", Seed: seed}, cfg)
-	})
+	// One lane per baseline seed, then one per scenario — a single batch.
+	lanes := make([]lane, 0, len(seeds)+len(scenarios))
+	for _, seed := range seeds {
+		lanes = append(lanes, buildLane(Scenario{Name: "baseline", Seed: seed}, cfg))
+	}
+	for _, sc := range scenarios {
+		lanes = append(lanes, buildLane(sc, cfg))
+	}
+	specs := make([]scenario.Spec, len(lanes))
+	for i := range lanes {
+		specs[i] = lanes[i].spec
+	}
+	results, errs := scenario.RunBatch(specs)
+	outs := make([]runOut, len(lanes))
+	for i := range lanes {
+		if errs[i] != nil {
+			panic(errs[i]) // the campaign spec is statically valid
+		}
+		outs[i] = lanes[i].finish(results[i])
+	}
 	baseBySeed := make(map[int64]runOut, len(seeds))
 	c := &Campaign{}
-	for _, b := range baseRuns {
+	for _, b := range outs[:len(seeds)] {
 		baseBySeed[b.res.Seed] = b
 		c.Baselines = append(c.Baselines, b.res)
 	}
-	runs := parallelx.Map(scenarios, func(sc Scenario) runOut {
-		return runOne(sc, cfg)
-	})
-	for _, r := range runs {
+	for _, r := range outs[len(seeds):] {
 		base := baseBySeed[r.res.Seed]
 		r.res.DeltaFlightTimeS = r.res.FlightTimeS - base.res.FlightTimeS
 		r.res.MaxPathDivM = maxDivergence(r.traj, base.traj)
@@ -179,11 +195,23 @@ func maxDivergence(a, b []mathx.Vec3) float64 {
 	return worst
 }
 
-// runOne flies a single scenario closed-loop: the flysim stack — assembled
-// by the scenario engine — plus the injector, an offload session polling
-// the injected link, and telemetry streamed through a LossyLink into a
-// ground station.
-func runOne(sc Scenario, cfg Config) runOut {
+// lane is one batch lane in flight: the Spec the scenario engine flies plus
+// the lane-private telemetry plumbing (LossyLink into a ground station) the
+// campaign row is scored against after landing. Everything a lane touches
+// during stepping is lane-owned, so co-tenant lanes in a batch cannot
+// perturb it.
+type lane struct {
+	sc   Scenario
+	spec scenario.Spec
+	link *LossyLink
+	gs   *groundstation.Station
+}
+
+// buildLane assembles a single scenario closed-loop: the flysim stack —
+// declared as a scenario.Spec — plus the injector, an offload session
+// polling the injected link, and telemetry streamed through a LossyLink
+// into a ground station.
+func buildLane(sc Scenario, cfg Config) lane {
 	inj, err := NewInjector(sc.Plan, sc.Seed)
 	if err != nil {
 		panic(err) // validated by Run
@@ -195,46 +223,52 @@ func runOne(sc Scenario, cfg Config) runOut {
 	gs := groundstation.New(nil)
 	policy := autopilot.DefaultEnergyPolicy()
 
-	res, err := scenario.Run(scenario.Spec{
-		Seed:         sc.Seed,
-		TakeoffAltM:  cfg.TakeoffAltM,
-		MaxSeconds:   cfg.MaxSeconds,
-		Compute:      scenario.Compute{BaseW: cfg.BaseComputeW},
-		EnergyPolicy: &policy,
-		Faults:       inj,
-		Offload: &scenario.Offload{
-			Session: offload.SessionConfig{
-				Link: offload.WiFi5GHz(), Node: offload.GroundStationGPU(),
-				W: offload.SLAMWorkload(), OnboardW: 2.0, OnboardG: 50,
+	return lane{
+		sc:   sc,
+		link: link,
+		gs:   gs,
+		spec: scenario.Spec{
+			Seed:         sc.Seed,
+			TakeoffAltM:  cfg.TakeoffAltM,
+			MaxSeconds:   cfg.MaxSeconds,
+			Compute:      scenario.Compute{BaseW: cfg.BaseComputeW},
+			EnergyPolicy: &policy,
+			Faults:       inj,
+			Offload: &scenario.Offload{
+				Session: offload.SessionConfig{
+					Link: offload.WiFi5GHz(), Node: offload.GroundStationGPU(),
+					W: offload.SLAMWorkload(), OnboardW: 2.0, OnboardG: 50,
+				},
+				Stats: campaignSLAMStats(),
 			},
-			Stats: campaignSLAMStats(),
+			Telemetry: scenario.Telemetry{Send: func(raw []byte) {
+				if got := link.Transmit(raw); len(got) > 0 {
+					gs.Consume(got)
+				}
+			}},
 		},
-		Telemetry: scenario.Telemetry{Send: func(raw []byte) {
-			if got := link.Transmit(raw); len(got) > 0 {
-				gs.Consume(got)
-			}
-		}},
-	})
-	if err != nil {
-		panic(err) // the campaign spec is statically valid
 	}
-	if tail := link.Transmit(link.Flush()); len(tail) > 0 {
-		gs.Consume(tail)
-	}
+}
 
+// finish drains the lane's telemetry link and folds the flight outcome into
+// a campaign row.
+func (l lane) finish(res *scenario.Result) runOut {
+	if tail := l.link.Transmit(l.link.Flush()); len(tail) > 0 {
+		l.gs.Consume(tail)
+	}
 	return runOut{
 		traj: res.Trajectory,
 		res: Result{
-			Scenario:         sc.Name,
-			Seed:             sc.Seed,
+			Scenario:         l.sc.Name,
+			Seed:             l.sc.Seed,
 			Outcome:          classify(res),
 			FlightTimeS:      res.FlightTimeS,
 			MaxEstErrM:       res.MaxEstErrM,
 			EnergyWh:         res.EnergyWh,
 			Fallbacks:        res.Fallbacks,
 			Recoveries:       res.Recoveries,
-			TelemetryFrames:  gs.State().Frames,
-			TelemetryDropped: link.Stats.Dropped,
+			TelemetryFrames:  l.gs.State().Frames,
+			TelemetryDropped: l.link.Stats.Dropped,
 			LastEvent:        res.LastEvent,
 		},
 	}

@@ -7,6 +7,7 @@ import (
 	"dronedse/mathx"
 	"dronedse/parallelx"
 	"dronedse/power"
+	"dronedse/scenario"
 	"dronedse/sim"
 )
 
@@ -68,7 +69,12 @@ func flysimReference(t *testing.T, seed int64) ([]mathx.Vec3, float64) {
 func TestFaultFreeBitIdentical(t *testing.T) {
 	const seed = 1
 	want, wantT := flysimReference(t, seed)
-	got := runOne(Scenario{Name: "fault-free", Seed: seed}, Config{}.withDefaults())
+	l := buildLane(Scenario{Name: "fault-free", Seed: seed}, Config{}.withDefaults())
+	res, err := scenario.Run(l.spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := l.finish(res)
 	if got.res.Outcome != OutcomeCompleted {
 		t.Fatalf("fault-free outcome = %v (%s)", got.res.Outcome, got.res.LastEvent)
 	}

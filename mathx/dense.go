@@ -36,6 +36,21 @@ func DenseFrom(rows [][]float64) *Dense {
 	return m
 }
 
+// DenseOn returns an r x c matrix viewing caller-owned storage (len must be
+// at least r*c; extra capacity allows later Reshape growth). The storage is
+// not cleared — callers embedding Dense values in a scratch arena zero it at
+// allocation. Returned by value so arenas can hold matrices without per-
+// matrix header allocations.
+func DenseOn(data []float64, r, c int) Dense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mathx: invalid dense dimensions %dx%d", r, c))
+	}
+	if r*c > len(data) {
+		panic(fmt.Sprintf("mathx: DenseOn %dx%d exceeds storage length %d", r, c, len(data)))
+	}
+	return Dense{rows: r, cols: c, data: data[:r*c]}
+}
+
 // DenseIdentity returns the n x n identity.
 func DenseIdentity(n int) *Dense {
 	m := NewDense(n, n)
@@ -276,6 +291,164 @@ func (m *Dense) SolveLU(b []float64) (x []float64, ok bool) {
 		x[i] = s / a.At(i, i)
 	}
 	return x, true
+}
+
+// ---- In-place variants -------------------------------------------------
+//
+// The EKF runs its covariance algebra hundreds of times per simulated
+// second per drone, and the allocating operators above were ~100% of the
+// flight stack's steady-state heap churn. Each *Into/*Of method below is
+// the bit-exact counterpart of its allocating sibling — identical loop
+// structure, identical accumulation order — writing into caller-owned
+// storage, so a scenario batch can step thousands of filters with zero
+// steady-state allocations without perturbing a single result bit.
+
+// Reshape resizes m to r x c reusing its backing array, zeroing the data
+// exactly as NewDense would. It panics when the backing capacity is too
+// small — scratch matrices are sized for their worst case at construction.
+func (m *Dense) Reshape(r, c int) {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mathx: invalid dense dimensions %dx%d", r, c))
+	}
+	if r*c > cap(m.data) {
+		panic(fmt.Sprintf("mathx: Reshape %dx%d exceeds backing capacity %d", r, c, cap(m.data)))
+	}
+	m.rows, m.cols = r, c
+	m.data = m.data[:r*c]
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// CopyFrom overwrites m with n (same dimensions).
+func (m *Dense) CopyFrom(n *Dense) {
+	m.checkSame(n, "CopyFrom")
+	copy(m.data, n.data)
+}
+
+// MulOf computes a * b into m, which must already have a.rows x b.cols
+// shape. It is the in-place counterpart of Mul (same skip-zero loop, same
+// accumulation order). m must not alias a or b.
+func (m *Dense) MulOf(a, b *Dense) {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("mathx: MulOf dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	if m.rows != a.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("mathx: MulOf destination is %dx%d, want %dx%d", m.rows, m.cols, a.rows, b.cols))
+	}
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	for i := 0; i < a.rows; i++ {
+		for k := 0; k < a.cols; k++ {
+			v := a.data[i*a.cols+k]
+			if v == 0 {
+				continue
+			}
+			for j := 0; j < b.cols; j++ {
+				m.data[i*m.cols+j] += v * b.data[k*b.cols+j]
+			}
+		}
+	}
+}
+
+// AddOf computes a + b into m (all same dimensions; m may alias a or b).
+func (m *Dense) AddOf(a, b *Dense) {
+	a.checkSame(b, "AddOf")
+	m.checkSame(a, "AddOf")
+	for i := range m.data {
+		m.data[i] = a.data[i] + b.data[i]
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (m *Dense) ScaleInPlace(s float64) {
+	for i := range m.data {
+		m.data[i] *= s
+	}
+}
+
+// TransposeOf writes a^T into m (m must be a.cols x a.rows; no aliasing).
+func (m *Dense) TransposeOf(a *Dense) {
+	if m.rows != a.cols || m.cols != a.rows {
+		panic(fmt.Sprintf("mathx: TransposeOf destination is %dx%d, want %dx%d", m.rows, m.cols, a.cols, a.rows))
+	}
+	for i := 0; i < a.rows; i++ {
+		for j := 0; j < a.cols; j++ {
+			m.data[j*m.cols+i] = a.data[i*a.cols+j]
+		}
+	}
+}
+
+// SetIdentity overwrites a square m with the identity.
+func (m *Dense) SetIdentity() {
+	if m.rows != m.cols {
+		panic("mathx: SetIdentity needs a square matrix")
+	}
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+i] = 1
+	}
+}
+
+// CholeskyInto factors m = L L^T into the caller-owned l (same dimensions),
+// returning false when m is not (numerically) SPD — the bit-exact in-place
+// counterpart of Cholesky.
+func (m *Dense) CholeskyInto(l *Dense) bool {
+	if m.rows != m.cols || l.rows != m.rows || l.cols != m.cols {
+		return false
+	}
+	n := m.rows
+	for i := range l.data {
+		l.data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return false
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return true
+}
+
+// SolveWithCholesky solves L L^T x = b given an already-computed Cholesky
+// factor l, writing the solution into x using y as scratch (all length n).
+// Splitting the factorization from the solves lets a Kalman gain computation
+// factor S once and back-substitute per state row — same arithmetic, same
+// order, as calling SolveCholesky per row.
+func SolveWithCholesky(l *Dense, b, x, y []float64) {
+	n := l.rows
+	if len(b) != n || len(x) != n || len(y) != n {
+		panic("mathx: SolveWithCholesky length mismatch")
+	}
+	// forward substitution: L y = b
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// back substitution: L^T x = y
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
 }
 
 // MaxAbsDiff returns max_ij |m_ij - n_ij|; useful in tests.

@@ -1,0 +1,223 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randDense returns an r x c matrix with deterministic pseudo-random entries.
+func randDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// randSPD returns a random symmetric positive-definite n x n matrix.
+func randSPD(rng *rand.Rand, n int) *Dense {
+	a := randDense(rng, n, n)
+	m := a.Mul(a.Transpose())
+	for i := 0; i < n; i++ {
+		m.Addf(i, i, float64(n))
+	}
+	return m
+}
+
+// bitsEqual reports whether two matrices are identical down to the float bits.
+func bitsEqual(a, b *Dense) bool {
+	if a.Rows() != b.Rows() || a.Cols() != b.Cols() {
+		return false
+	}
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if math.Float64bits(a.At(i, j)) != math.Float64bits(b.At(i, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestMulOfMatchesMulBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		r, k, c := 1+rng.Intn(7), 1+rng.Intn(7), 1+rng.Intn(7)
+		a, b := randDense(rng, r, k), randDense(rng, k, c)
+		// Sprinkle zeros so the skip-zero fast path is exercised.
+		if r > 1 {
+			a.Set(rng.Intn(r), rng.Intn(k), 0)
+		}
+		want := a.Mul(b)
+		got := NewDense(r, c)
+		// Pre-poison the destination to prove MulOf fully overwrites it.
+		for i := range got.data {
+			got.data[i] = math.NaN()
+		}
+		got.MulOf(a, b)
+		if !bitsEqual(got, want) {
+			t.Fatalf("trial %d: MulOf differs from Mul", trial)
+		}
+	}
+}
+
+func TestAddOfMatchesAddBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a, b := randDense(rng, 6, 6), randDense(rng, 6, 6)
+	want := a.Add(b)
+	got := NewDense(6, 6)
+	got.AddOf(a, b)
+	if !bitsEqual(got, want) {
+		t.Fatal("AddOf differs from Add")
+	}
+	// Aliased destination: a += b in place.
+	aCopy := a.Clone()
+	aCopy.AddOf(aCopy, b)
+	if !bitsEqual(aCopy, want) {
+		t.Fatal("aliased AddOf differs from Add")
+	}
+}
+
+func TestTransposeOfMatchesTransposeBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randDense(rng, 4, 7)
+	want := a.Transpose()
+	got := NewDense(7, 4)
+	got.TransposeOf(a)
+	if !bitsEqual(got, want) {
+		t.Fatal("TransposeOf differs from Transpose")
+	}
+}
+
+func TestScaleInPlaceMatchesScaleBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randDense(rng, 5, 5)
+	want := a.Scale(1.7)
+	got := a.Clone()
+	got.ScaleInPlace(1.7)
+	if !bitsEqual(got, want) {
+		t.Fatal("ScaleInPlace differs from Scale")
+	}
+}
+
+func TestSetIdentityMatchesDenseIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	got := randDense(rng, 6, 6)
+	got.SetIdentity()
+	if !bitsEqual(got, DenseIdentity(6)) {
+		t.Fatal("SetIdentity differs from DenseIdentity")
+	}
+}
+
+func TestCholeskyIntoMatchesCholeskyBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(6)
+		m := randSPD(rng, n)
+		want, ok := m.Cholesky()
+		if !ok {
+			t.Fatalf("trial %d: SPD matrix rejected", trial)
+		}
+		got := NewDense(n, n)
+		for i := range got.data {
+			got.data[i] = math.NaN()
+		}
+		if !m.CholeskyInto(got) {
+			t.Fatalf("trial %d: CholeskyInto rejected SPD matrix", trial)
+		}
+		if !bitsEqual(got, want) {
+			t.Fatalf("trial %d: CholeskyInto differs from Cholesky", trial)
+		}
+	}
+	// Indefinite matrices must still be rejected.
+	bad := DenseFrom([][]float64{{1, 2}, {2, 1}})
+	if bad.CholeskyInto(NewDense(2, 2)) {
+		t.Fatal("CholeskyInto accepted an indefinite matrix")
+	}
+}
+
+func TestSolveWithCholeskyMatchesSolveCholeskyBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(6)
+		m := randSPD(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, ok := m.SolveCholesky(b)
+		if !ok {
+			t.Fatalf("trial %d: SolveCholesky rejected SPD matrix", trial)
+		}
+		l := NewDense(n, n)
+		if !m.CholeskyInto(l) {
+			t.Fatalf("trial %d: CholeskyInto rejected SPD matrix", trial)
+		}
+		x, y := make([]float64, n), make([]float64, n)
+		SolveWithCholesky(l, b, x, y)
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("trial %d: SolveWithCholesky differs at %d: %v vs %v", trial, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReshapeZeroesAndResizes(t *testing.T) {
+	backing := make([]float64, 36)
+	m := DenseOn(backing, 6, 6)
+	m.Set(0, 0, 42)
+	m.Reshape(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("Reshape gave %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("Reshape left (%d,%d) = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+	m.Reshape(6, 6) // grow back within capacity
+	if m.Rows() != 6 || m.Cols() != 6 {
+		t.Fatalf("Reshape gave %dx%d, want 6x6", m.Rows(), m.Cols())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reshape beyond capacity did not panic")
+		}
+	}()
+	m.Reshape(7, 7)
+}
+
+func TestCopyFromCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	src := randDense(rng, 4, 4)
+	dst := NewDense(4, 4)
+	dst.CopyFrom(src)
+	if !bitsEqual(dst, src) {
+		t.Fatal("CopyFrom differs from source")
+	}
+	src.Set(0, 0, -1) // dst must own its data
+	if dst.At(0, 0) == -1 {
+		t.Fatal("CopyFrom aliased the source")
+	}
+}
+
+func TestDenseOnSharesStorage(t *testing.T) {
+	backing := make([]float64, 12)
+	m := DenseOn(backing, 3, 4)
+	m.Set(1, 2, 9)
+	if backing[1*4+2] != 9 {
+		t.Fatal("DenseOn does not view the caller storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DenseOn with short storage did not panic")
+		}
+	}()
+	DenseOn(backing, 4, 4)
+}

@@ -31,6 +31,14 @@ type Pack struct {
 	FadeFrac float64
 	// usedMah tracks consumed charge.
 	usedMah float64
+
+	// Voltage memo: the sag curve is a pure function of (usedMah, SagVolts,
+	// FadeFrac), and the flight loop asks for it several times per physics
+	// step (power conversion, current clamp, telemetry) between charge
+	// updates. Caching on the exact inputs keeps results bit-identical while
+	// paying the Pow once per state change.
+	vUsed, vSag, vFade, vCached float64
+	vValid                      bool
 }
 
 // NewPack builds a pack; it validates the configuration.
@@ -54,6 +62,9 @@ func (p *Pack) NominalVoltage() float64 { return units.CellsToVoltage(p.Cells) }
 // 4.2 V/cell full, ~3.5 V/cell at the 85% drain limit, with the typical flat
 // LiPo mid-curve.
 func (p *Pack) Voltage() float64 {
+	if p.vValid && p.vUsed == p.usedMah && p.vSag == p.SagVolts && p.vFade == p.FadeFrac {
+		return p.vCached
+	}
 	soc := p.StateOfCharge()
 	perCell := 3.3 + 0.9*math.Pow(soc, 0.6) // 4.2 at soc=1, steep near empty
 	v := perCell * float64(p.Cells)
@@ -63,6 +74,7 @@ func (p *Pack) Voltage() float64 {
 			v = floor
 		}
 	}
+	p.vUsed, p.vSag, p.vFade, p.vCached, p.vValid = p.usedMah, p.SagVolts, p.FadeFrac, v, true
 	return v
 }
 

@@ -163,3 +163,37 @@ func TestPeukertEffect(t *testing.T) {
 		t.Errorf("PeukertK=0 drain %d s, want ideal %.0f s", tOff, idealHard)
 	}
 }
+
+// TestVoltageMemoBitExact pins the Voltage memo: repeated calls between
+// state changes return the cached value, and every state change that feeds
+// the sag curve (charge drawn, injected sag, injected fade, reset) yields
+// exactly the value a fresh pack at the same state computes.
+func TestVoltageMemoBitExact(t *testing.T) {
+	fresh := func(usedFrac, sag, fade float64) float64 {
+		p, _ := NewPack(3, 3000, 30)
+		p.SetFault(sag, fade)
+		p.usedMah = usedFrac * p.effCapacityMah()
+		return p.Voltage()
+	}
+	p, _ := NewPack(3, 3000, 30)
+	if v1, v2 := p.Voltage(), p.Voltage(); v1 != v2 {
+		t.Fatalf("idle re-read changed: %v != %v", v1, v2)
+	}
+	for i := 0; i < 100; i++ {
+		p.DrawPower(150, 1.0)
+	}
+	want := fresh(p.usedMah/p.effCapacityMah(), 0, 0)
+	if got := p.Voltage(); got != want {
+		t.Fatalf("after draw: memo %v != fresh %v", got, want)
+	}
+	p.SetFault(0.6, 0.1)
+	want = fresh(p.usedMah/p.effCapacityMah(), 0.6, 0.1)
+	if got := p.Voltage(); got != want {
+		t.Fatalf("after fault: memo %v != fresh %v", got, want)
+	}
+	p.SetFault(0, 0)
+	p.Reset()
+	if got, want := p.Voltage(), fresh(0, 0, 0); got != want {
+		t.Fatalf("after reset: memo %v != fresh %v", got, want)
+	}
+}

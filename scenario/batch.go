@@ -1,0 +1,187 @@
+package scenario
+
+import (
+	"errors"
+
+	"dronedse/parallelx"
+)
+
+// BatchChunkLanes is the fixed lane-chunk width a Batch fans through
+// parallelx.MapChunks. Chunk boundaries depend only on the lane count, never
+// on the pool size, so lane→worker assignment cannot perturb results (the
+// PR-3 SLAM chunking discipline). Each lane is self-contained — its own RNG
+// streams, fault injector, scratch — so co-tenant lanes cannot perturb it
+// regardless of which chunk it lands in.
+const BatchChunkLanes = 8
+
+// batchTickStride is how many physics steps Run advances each live lane per
+// parallel dispatch. Lanes are mutually independent, so interleaving
+// granularity cannot change any lane's arithmetic; a coarse stride simply
+// amortizes the per-dispatch goroutine fan-out (one simulated second per
+// dispatch) while still bounding how far lanes drift apart.
+const batchTickStride = 1000
+
+// Batch steps N flights on one engine. Construction is struct-of-arrays at
+// lane granularity: the batch owns flat per-lane slices (stacks, done flags,
+// errors), and Tick advances every live lane exactly one physics step, in
+// lane order within fixed-width chunks. The per-lane determinism contract:
+// the same Spec + seed produces a bit-identical Result whether run serially
+// via Run, as one lane of a 64-lane batch, or at any parallelx pool size.
+type Batch struct {
+	lanes []*Stack
+	done  []bool
+	errs  []error
+
+	started bool
+	live    int
+}
+
+// NewBatch builds one lane per Spec. A Spec whose Build fails does not abort
+// the batch: the lane is born finished with its error recorded, mirroring
+// how a campaign treats one bad scenario.
+func NewBatch(specs []Spec) *Batch {
+	b := &Batch{
+		lanes: make([]*Stack, len(specs)),
+		done:  make([]bool, len(specs)),
+		errs:  make([]error, len(specs)),
+	}
+	for i, spec := range specs {
+		st, err := Build(spec)
+		if err != nil {
+			b.done[i], b.errs[i] = true, err
+			continue
+		}
+		b.lanes[i] = st
+	}
+	return b
+}
+
+// NewBatchOf wraps already-built stacks (callers that need to install
+// cross-cutting wiring — telemetry links, observers — before batching).
+func NewBatchOf(stacks ...*Stack) *Batch {
+	b := &Batch{
+		lanes: stacks,
+		done:  make([]bool, len(stacks)),
+		errs:  make([]error, len(stacks)),
+	}
+	for i, st := range stacks {
+		if st == nil {
+			b.done[i], b.errs[i] = true, errors.New("scenario: nil lane")
+		}
+	}
+	return b
+}
+
+// Len returns the lane count.
+func (b *Batch) Len() int { return len(b.lanes) }
+
+// Live returns how many lanes are still flying.
+func (b *Batch) Live() int {
+	if !b.started {
+		return 0
+	}
+	return b.live
+}
+
+// Lane exposes lane i's stack (nil when its Build failed).
+func (b *Batch) Lane(i int) *Stack { return b.lanes[i] }
+
+// Start arms every lane without advancing simulated time. A lane whose
+// Start fails finishes immediately with its error recorded.
+func (b *Batch) Start() {
+	if b.started {
+		return
+	}
+	b.started = true
+	for i, st := range b.lanes {
+		if b.done[i] {
+			continue
+		}
+		if err := st.Start(); err != nil {
+			b.done[i], b.errs[i] = true, err
+		}
+	}
+	b.recount()
+}
+
+// Tick advances every live lane exactly one physics step and reports whether
+// the whole batch has finished. Lane chunks fan through parallelx; within a
+// chunk lanes step in lane order.
+func (b *Batch) Tick() (allDone bool) { return b.TickN(1) }
+
+// TickN advances every live lane by up to k physics steps (fewer if the lane
+// finishes) in one parallel dispatch, and reports whether the whole batch
+// has finished. Because lanes never interact, the interleaving granularity
+// is unobservable in any lane's Result.
+func (b *Batch) TickN(k int) (allDone bool) {
+	if !b.started {
+		b.Start()
+	}
+	if b.live == 0 {
+		return true
+	}
+	n := len(b.lanes)
+	if parallelx.PoolSize() <= 1 || n <= BatchChunkLanes {
+		b.tickRange(0, n, k)
+	} else {
+		parallelx.MapChunks(n, BatchChunkLanes, func(ci, lo, hi int) struct{} {
+			b.tickRange(lo, hi, k)
+			return struct{}{}
+		})
+	}
+	b.recount()
+	return b.live == 0
+}
+
+// tickRange steps lanes [lo, hi) by up to k ticks each. Chunks touch
+// disjoint lane index ranges, so concurrent calls are race-free.
+func (b *Batch) tickRange(lo, hi, k int) {
+	for i := lo; i < hi; i++ {
+		if b.done[i] {
+			continue
+		}
+		st := b.lanes[i]
+		for j := 0; j < k; j++ {
+			done, err := st.Tick()
+			if done {
+				b.done[i], b.errs[i] = true, err
+				break
+			}
+		}
+	}
+}
+
+func (b *Batch) recount() {
+	live := 0
+	for _, d := range b.done {
+		if !d {
+			live++
+		}
+	}
+	b.live = live
+}
+
+// Run drives the batch to completion and returns the per-lane outcomes in
+// lane order. A lane's Result is nil exactly when its error is non-nil.
+func (b *Batch) Run() ([]*Result, []error) {
+	for !b.TickN(batchTickStride) {
+	}
+	return b.Outcomes()
+}
+
+// Outcomes returns the per-lane results and errors accumulated so far.
+func (b *Batch) Outcomes() ([]*Result, []error) {
+	results := make([]*Result, len(b.lanes))
+	for i, st := range b.lanes {
+		if st != nil {
+			results[i] = st.Result()
+		}
+	}
+	return results, b.errs
+}
+
+// RunBatch builds and flies one lane per Spec on the batch engine — the
+// N-flight sibling of Run.
+func RunBatch(specs []Spec) ([]*Result, []error) {
+	return NewBatch(specs).Run()
+}

@@ -1,0 +1,173 @@
+package scenario_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"testing"
+
+	"dronedse/parallelx"
+	"dronedse/scenario"
+	"dronedse/sim"
+)
+
+// identitySpecs is the bit-identity property-test fleet: a factory (fault
+// injectors and observers are stateful, so every run gets fresh specs)
+// covering hover and mission branches, wind, SLAM compute, a bigger pack,
+// and mission flights truncated by MaxSeconds mid-air.
+func identitySpecs() []scenario.Spec {
+	return []scenario.Spec{
+		{Seed: 11, Hover: true, MaxSeconds: 2},
+		{Seed: 12, Hover: true, MaxSeconds: 3, Wind: scenario.Wind{MeanMS: 4, GustMS: 2}},
+		{Seed: 13, MaxSeconds: 25},
+		{Seed: 14, MaxSeconds: 30, Wind: scenario.Wind{MeanMS: 6, GustMS: 3}},
+		{Seed: 15, Hover: true, MaxSeconds: 2, Compute: scenario.Compute{SLAM: true}},
+		{Seed: 16, Hover: true, MaxSeconds: 4, TakeoffAltM: 8},
+		{Seed: 17, MaxSeconds: 20, TraceSeed: 99},
+		{Seed: 18, Hover: true, MaxSeconds: 2, Battery: scenario.Battery{Cells: 4, CapacityMah: 5000}},
+	}
+}
+
+func putBits(h hash.Hash, vs ...float64) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+}
+
+// resultDigest hashes everything the determinism contract pins: the
+// trajectory, the flight log (entries and events), the oscilloscope trace,
+// and the Equation-7 energy ledger — all at full float-bit fidelity.
+func resultDigest(t *testing.T, res *scenario.Result, err error) string {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("flight failed: %v", err)
+	}
+	h := sha256.New()
+	putBits(h, res.FlightTimeS, res.EnergyWh, res.ComputeWh, res.MaxEstErrM)
+	if res.TakeoffOK {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	h.Write([]byte(res.FinalMode.String()))
+	h.Write([]byte(res.LastEvent))
+	for _, p := range res.Trajectory {
+		putBits(h, p.X, p.Y, p.Z)
+	}
+	for _, e := range res.Log.Entries() {
+		putBits(h, e.TimeS, e.PosX, e.PosY, e.Alt, e.Speed,
+			e.Roll, e.Pitch, e.Yaw, e.PowerW, e.BatterySoC)
+		h.Write([]byte(e.Mode.String()))
+	}
+	for _, e := range res.Log.Events() {
+		putBits(h, e.TimeS)
+		h.Write([]byte(e.Text))
+	}
+	for _, s := range res.Trace.Samples() {
+		putBits(h, s.TimeS, s.PowerW)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestBatchSerialBitIdentity is ISSUE 6's hard requirement: the same Spec +
+// seed must produce a bit-identical Result whether run serially, as one lane
+// of a small or large batch, or at any parallelx pool size.
+func TestBatchSerialBitIdentity(t *testing.T) {
+	specs := identitySpecs()
+	want := make([]string, len(specs))
+	for i, spec := range specs {
+		res, err := scenario.Run(spec)
+		want[i] = resultDigest(t, res, err)
+	}
+
+	prev := parallelx.PoolSize()
+	defer parallelx.SetPoolSize(prev)
+	for _, pool := range []int{1, 2, 8} {
+		parallelx.SetPoolSize(pool)
+		for _, batchSize := range []int{1, 8, 64} {
+			// Fill the batch by cycling the spec fleet; every lane must
+			// reproduce its spec's serial digest.
+			lanes := make([]scenario.Spec, batchSize)
+			fresh := identitySpecs()
+			for i := range lanes {
+				lanes[i] = fresh[i%len(fresh)]
+			}
+			results, errs := scenario.RunBatch(lanes)
+			for i := range lanes {
+				got := resultDigest(t, results[i], errs[i])
+				if got != want[i%len(specs)] {
+					t.Fatalf("pool %d batch %d lane %d (seed %d): result diverged from serial run",
+						pool, batchSize, i, lanes[i].Seed)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchTickGranularityInvariance pins that the interleaving granularity
+// (one tick at a time vs the Run stride) is unobservable in lane results.
+func TestBatchTickGranularityInvariance(t *testing.T) {
+	spec := scenario.Spec{Seed: 31, Hover: true, MaxSeconds: 2}
+	res, err := scenario.Run(spec)
+	want := resultDigest(t, res, err)
+
+	b := scenario.NewBatch([]scenario.Spec{{Seed: 31, Hover: true, MaxSeconds: 2}})
+	b.Start()
+	for !b.Tick() {
+	}
+	results, errs := b.Outcomes()
+	if got := resultDigest(t, results[0], errs[0]); got != want {
+		t.Fatal("tick-at-a-time batch diverged from serial run")
+	}
+}
+
+// TestBatchLaneErrorIsolation: a lane whose Build fails finishes with its
+// error recorded and must not poison its co-tenants' results.
+func TestBatchLaneErrorIsolation(t *testing.T) {
+	good := scenario.Spec{Seed: 41, Hover: true, MaxSeconds: 2}
+	wantRes, wantErr := scenario.Run(good)
+	want := resultDigest(t, wantRes, wantErr)
+
+	badQuad := sim.DefaultConfig()
+	badQuad.TWR = 0.5 // below the flying minimum: Build must fail
+	results, errs := scenario.RunBatch([]scenario.Spec{
+		{Seed: 41, Hover: true, MaxSeconds: 2},
+		{Seed: 42, Quad: &badQuad},
+		{Seed: 41, Hover: true, MaxSeconds: 2},
+	})
+	if errs[1] == nil || results[1] != nil {
+		t.Fatal("bad lane did not report its build error")
+	}
+	for _, i := range []int{0, 2} {
+		if got := resultDigest(t, results[i], errs[i]); got != want {
+			t.Fatalf("lane %d diverged next to a failed lane", i)
+		}
+	}
+}
+
+// TestBatchZeroAllocSteadyState is the ISSUE 6 alloc-regression guard: once
+// a batch is warmed past takeoff, advancing it must do zero steady-state
+// heap allocations per step. It runs on the serial path (pool 1) — parallel
+// dispatch adds only per-dispatch goroutine fan-out, amortized by TickN.
+func TestBatchZeroAllocSteadyState(t *testing.T) {
+	prev := parallelx.SetPoolSize(1)
+	defer parallelx.SetPoolSize(prev)
+	b := scenario.NewBatch([]scenario.Spec{
+		{Seed: 51, Hover: true},
+		{Seed: 52},
+		{Seed: 53, Wind: scenario.Wind{MeanMS: 4, GustMS: 2}},
+	})
+	b.Start()
+	// Warm through takeoff and into cruise so every lazy path (mode
+	// transitions, first log rows, trace priming) has already run.
+	for i := 0; i < 10000; i++ {
+		b.Tick()
+	}
+	if n := testing.AllocsPerRun(500, func() { b.Tick() }); n != 0 {
+		t.Fatalf("batched step allocates %.2f objects in steady state, want 0", n)
+	}
+}

@@ -1,9 +1,15 @@
 package scenario_test
 
-// Golden-output regression tests: the digests in testdata/ were recorded on
-// the pre-scenario call sites (cmd/flysim's hand-rolled stack and the
-// faultx campaign driver before it was rebuilt on scenario). The refactor
-// is behavior-preserving exactly when these stay bit-identical.
+// Golden-output regression tests: the digests in testdata/ pin the exact
+// float behavior of the reference flight and the standard fault campaign,
+// so an unintended physics or wiring change fails loudly. They were
+// recorded on the pre-scenario call sites (cmd/flysim's hand-rolled stack)
+// and verified unchanged by the batched engine and the perf work since
+// (the induced-power Pow(T, 1.5) → T*sqrt(T) move shifts only the energy
+// ledger by ulps — the trajectory is upstream of the electrical model).
+// Regenerate deliberately with
+//
+//	GOLDEN_UPDATE=1 go test ./scenario/ -run Golden
 
 import (
 	"bufio"
@@ -22,6 +28,9 @@ import (
 	"dronedse/parallelx"
 	"dronedse/scenario"
 )
+
+// updateGoldens rewrites testdata instead of comparing against it.
+var updateGoldens = os.Getenv("GOLDEN_UPDATE") != ""
 
 // trajDigest hashes a trajectory exactly as the golden generator did:
 // sha256 over the little-endian IEEE-754 bits of X, Y, Z per sample.
@@ -66,8 +75,6 @@ func readGolden(t *testing.T, path string) map[string]string {
 // 5 m, RPi+Navio2 autopilot draw): the zero-value Spec must reproduce the
 // pre-refactor trajectory and flight time bit for bit.
 func TestFlysimGolden(t *testing.T) {
-	want := readGolden(t, "testdata/flysim_golden.txt")
-
 	res, err := scenario.Run(scenario.Spec{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -75,6 +82,16 @@ func TestFlysimGolden(t *testing.T) {
 	if !res.Completed {
 		t.Fatalf("reference mission did not complete (%s)", res.LastEvent)
 	}
+	if updateGoldens {
+		body := fmt.Sprintf("traj_sha256 %s\nsamples %d\nflight_time_s %v\n",
+			trajDigest(res.Trajectory), len(res.Trajectory), res.FlightTimeS)
+		if err := os.WriteFile("testdata/flysim_golden.txt", []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("rewrote testdata/flysim_golden.txt")
+		return
+	}
+	want := readGolden(t, "testdata/flysim_golden.txt")
 	if got := strconv.Itoa(len(res.Trajectory)); got != want["samples"] {
 		t.Errorf("trajectory samples = %s, golden %s", got, want["samples"])
 	}
@@ -90,6 +107,22 @@ func TestFlysimGolden(t *testing.T) {
 // table must hash to the pre-refactor digest at pool sizes 1, 2 and 8 —
 // the golden and pool-invariance properties in one assertion.
 func TestFaultCampaignGolden(t *testing.T) {
+	if updateGoldens {
+		c, err := faultx.Run(faultx.StandardScenarios(1), faultx.Config{MaxSeconds: 240})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256([]byte(c.Table()))
+		body := fmt.Sprintf("table_sha256 %s\n", hex.EncodeToString(sum[:]))
+		if err := os.WriteFile("testdata/faultcamp_golden.txt", []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("testdata/faultcamp_table.txt", []byte(c.Table()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("rewrote testdata/faultcamp_golden.txt and faultcamp_table.txt")
+		return
+	}
 	want := readGolden(t, "testdata/faultcamp_golden.txt")["table_sha256"]
 
 	for _, pool := range []int{1, 2, 8} {

@@ -261,6 +261,7 @@ type Stack struct {
 	computeWh    float64
 	telemSeq     uint8
 	ran          bool
+	drv          driver
 }
 
 // Build performs all cross-package wiring for a Spec and registers the
@@ -325,8 +326,21 @@ func Build(spec Spec) (*Stack, error) {
 		st.Session = sess
 	}
 
+	// Pre-size every per-step recording path for the worst-case flight
+	// duration — takeoff budget, longest post-takeoff branch, landing
+	// watch — so steady-state stepping never grows an append.
+	durS := 30 + spec.MaxSeconds + 60
+	if spec.Trajectory != nil {
+		if d := 30 + spec.Trajectory.TotalS + 30; d > durS {
+			durS = d
+		}
+	}
+	st.traj = make([]mathx.Vec3, 0, int(durS*10)+2)
+	st.Log.Reserve(durS)
+
 	// Observer bus, in the package-documented order.
 	st.Trace = trace.NewOscilloscope(spec.TraceSeed)
+	st.Trace.Reserve(durS)
 	ap.Observe(func(a *autopilot.Autopilot, dt float64) {
 		st.Trace.Observe(a.Time(), a.TotalPowerW())
 	})
@@ -370,67 +384,184 @@ func (st *Stack) probe(a *autopilot.Autopilot, dt float64) {
 	st.steps++
 }
 
-// Run drives the stack through the fixed flight sequence: arm, take off
-// (30 s budget), fly the mission (or hover) within Spec.MaxSeconds of total
-// simulated time, and return the structured Result. It may be called once.
-func (st *Stack) Run() (*Result, error) {
+// driverState enumerates the tick driver's flight-sequence states, in the
+// order the blocking Run historically visited them.
+type driverState int
+
+const (
+	drvUnstarted driverState = iota
+	drvTakeoff               // RunUntil(mode != Takeoff, 30 s)
+	drvHover                 // RunFor(MaxSeconds) loiter before landing
+	drvLanding               // RunUntil(mode == Disarmed, 60 s)
+	drvTrajectory            // RunUntil(mode == Hover, TotalS + 30 s)
+	drvMission               // RunUntil(mode == Disarmed, MaxSeconds - t)
+	drvDone
+)
+
+// driver is the resumable replacement for the blocking Run loop. Budgets are
+// integer step counts computed with the same int(seconds*hz) truncation
+// RunFor/RunUntil use, and conditions are evaluated at the same points (after
+// each step; once more when a budget expires), so a flight ticked one step at
+// a time is bit-identical to the historical blocking sequence. This is what
+// lets Batch interleave N flights on one engine: each lane advances exactly
+// one physics step per Tick regardless of what phase it is in.
+type driver struct {
+	state     driverState
+	budget    int // remaining steps in the current state
+	takeoffOK bool
+	err       error
+	result    *Result
+}
+
+// Start arms the stack and enters the takeoff phase without advancing
+// simulated time. It may be called once; Run calls it implicitly.
+func (st *Stack) Start() error {
 	if st.ran {
-		return nil, errors.New("scenario: stack already ran")
+		return errors.New("scenario: stack already ran")
 	}
 	st.ran = true
 	ap := st.Autopilot
 	spec := st.Spec
-
 	if !spec.Hover && spec.Trajectory == nil {
 		if err := ap.LoadMission(spec.Mission); err != nil {
-			return nil, fmt.Errorf("scenario: %w", err)
+			return fmt.Errorf("scenario: %w", err)
 		}
 	}
 	if err := ap.Arm(); err != nil {
-		return nil, fmt.Errorf("scenario: %w", err)
+		return fmt.Errorf("scenario: %w", err)
 	}
 	st.phase(PhaseArmed)
+	st.enter(drvTakeoff, int(30*ap.PhysicsHz()))
+	return nil
+}
 
-	takeoffOK := ap.RunUntil(func(a *autopilot.Autopilot) bool {
-		return a.Mode() != autopilot.Takeoff
-	}, 30) && ap.Mode() == autopilot.Hover
-	if takeoffOK {
+// Tick advances the flight by exactly one physics step and runs the state
+// machine's between-step transitions. It reports whether the flight has
+// finished; after done, Result/Err hold the outcome and further Ticks are
+// no-ops. The sequence of Ticks reproduces the blocking Run bit for bit.
+func (st *Stack) Tick() (done bool, err error) {
+	if st.drv.state == drvUnstarted {
+		return true, errors.New("scenario: Tick before Start")
+	}
+	if st.drv.state == drvDone {
+		return true, st.drv.err
+	}
+	ap := st.Autopilot
+	ap.Step()
+	st.drv.budget--
+	switch st.drv.state {
+	case drvTakeoff:
+		if ap.Mode() != autopilot.Takeoff || st.drv.budget <= 0 {
+			st.endTakeoff()
+		}
+	case drvHover:
+		if st.drv.budget <= 0 {
+			st.endHover()
+		}
+	case drvLanding:
+		if ap.Mode() == autopilot.Disarmed || st.drv.budget <= 0 {
+			st.finish()
+		}
+	case drvTrajectory:
+		if ap.Mode() == autopilot.Hover || st.drv.budget <= 0 {
+			st.finish()
+		}
+	case drvMission:
+		if ap.Mode() == autopilot.Disarmed || st.drv.budget <= 0 {
+			st.finish()
+		}
+	}
+	return st.drv.state == drvDone, st.drv.err
+}
+
+// Done reports whether the flight has finished (normally or with an error).
+func (st *Stack) Done() bool { return st.drv.state == drvDone }
+
+// Err returns the flight error, if any, once Done.
+func (st *Stack) Err() error { return st.drv.err }
+
+// Result returns the structured outcome once Done (nil on error or before).
+func (st *Stack) Result() *Result { return st.drv.result }
+
+// enter switches driver state; a non-positive budget resolves immediately,
+// mirroring RunFor/RunUntil called with a non-positive duration (no steps,
+// condition consulted once).
+func (st *Stack) enter(s driverState, budget int) {
+	st.drv.state = s
+	st.drv.budget = budget
+	if budget <= 0 {
+		switch s {
+		case drvTakeoff:
+			st.endTakeoff()
+		case drvHover:
+			st.endHover()
+		default:
+			st.finish()
+		}
+	}
+}
+
+// endTakeoff evaluates the takeoff outcome and branches into the hover,
+// trajectory or mission phase exactly as the blocking sequence did.
+func (st *Stack) endTakeoff() {
+	ap := st.Autopilot
+	spec := st.Spec
+	// RunUntil stopped either because the mode left Takeoff or because the
+	// 30 s budget lapsed; in both cases the historical takeoffOK reduces to
+	// "is the vehicle now holding in Hover".
+	st.drv.takeoffOK = ap.Mode() == autopilot.Hover
+	if st.drv.takeoffOK {
 		st.phase(PhaseAirborne)
 	}
-
 	switch {
 	case spec.Hover:
-		if takeoffOK {
-			ap.RunFor(spec.MaxSeconds)
+		if st.drv.takeoffOK {
+			st.enter(drvHover, int(spec.MaxSeconds*ap.PhysicsHz()))
+		} else {
+			st.endHover() // failed takeoff lands straight away
 		}
-		ap.CommandLand()
-		ap.RunUntil(func(a *autopilot.Autopilot) bool {
-			return a.Mode() == autopilot.Disarmed
-		}, 60)
 	case spec.Trajectory != nil:
-		if takeoffOK {
+		if st.drv.takeoffOK {
 			if err := ap.FlyTrajectory(spec.Trajectory); err != nil {
-				return nil, fmt.Errorf("scenario: %w", err)
+				st.fail(fmt.Errorf("scenario: %w", err))
+				return
 			}
-			ap.RunUntil(func(a *autopilot.Autopilot) bool {
-				return a.Mode() == autopilot.Hover
-			}, spec.Trajectory.TotalS+30)
+			st.enter(drvTrajectory, int((spec.Trajectory.TotalS+30)*ap.PhysicsHz()))
+		} else {
+			st.finish()
 		}
 	default:
-		if takeoffOK {
+		if st.drv.takeoffOK {
 			if err := ap.StartMission(); err == nil {
 				st.phase(PhaseMissionStarted)
 			}
 		}
-		ap.RunUntil(func(a *autopilot.Autopilot) bool {
-			return a.Mode() == autopilot.Disarmed
-		}, spec.MaxSeconds-ap.Time())
+		st.enter(drvMission, int((spec.MaxSeconds-ap.Time())*ap.PhysicsHz()))
 	}
-	st.phase(PhaseDone)
+}
 
+// endHover commands the landing that follows the loiter (or a failed
+// takeoff) and enters the 60 s landing watch.
+func (st *Stack) endHover() {
+	st.Autopilot.CommandLand()
+	st.enter(drvLanding, int(60*st.Autopilot.PhysicsHz()))
+}
+
+// fail terminates the flight with an error — no PhaseDone, no Result,
+// matching the blocking Run's early-error returns.
+func (st *Stack) fail(err error) {
+	st.drv.err = err
+	st.drv.state = drvDone
+}
+
+// finish closes out a completed flight: PhaseDone plus the structured Result.
+func (st *Stack) finish() {
+	st.drv.state = drvDone
+	st.phase(PhaseDone)
+	ap := st.Autopilot
 	res := &Result{
 		FlightTimeS: ap.Time(),
-		TakeoffOK:   takeoffOK,
+		TakeoffOK:   st.drv.takeoffOK,
 		Completed:   ap.MissionCompleted(),
 		FinalMode:   ap.Mode(),
 		LastEvent:   ap.LastEvent(),
@@ -445,7 +576,26 @@ func (st *Stack) Run() (*Result, error) {
 		res.Fallbacks = st.Session.Fallbacks
 		res.Recoveries = st.Session.Recoveries
 	}
-	return res, nil
+	st.drv.result = res
+}
+
+// Run drives the stack through the fixed flight sequence: arm, take off
+// (30 s budget), fly the mission (or hover) within Spec.MaxSeconds of total
+// simulated time, and return the structured Result. It may be called once;
+// it is exactly a batch of one — Start, then Tick to completion.
+func (st *Stack) Run() (*Result, error) {
+	if err := st.Start(); err != nil {
+		return nil, err
+	}
+	for !st.Done() {
+		if _, err := st.Tick(); err != nil {
+			return nil, err
+		}
+	}
+	if st.drv.err != nil {
+		return nil, st.drv.err
+	}
+	return st.drv.result, nil
 }
 
 func (st *Stack) phase(p Phase) {

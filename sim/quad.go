@@ -77,6 +77,13 @@ type Quad struct {
 	thrustN [NumMotors]float64
 	cmdN    [NumMotors]float64
 
+	// powerW caches ElectricalPowerW between thrust changes. The power
+	// model costs four math.Pow calls, and the autopilot, trace recorder,
+	// and scenario probe all read it every step — caching collapses that
+	// to one evaluation per Step without changing a single returned bit.
+	powerW     float64
+	powerDirty bool
+
 	env      *Environment
 	onGround bool
 	failed   [NumMotors]bool
@@ -110,6 +117,7 @@ func NewQuad(cfg Config) (*Quad, error) {
 		onGround: true,
 	}
 	q.state.Att = mathx.QuatIdentity()
+	q.powerDirty = true
 	for i := range q.eff {
 		q.eff[i] = 1
 	}
@@ -190,6 +198,7 @@ func (q *Quad) Teleport(pos mathx.Vec3) {
 		q.thrustN[i] = hover
 		q.cmdN[i] = hover
 	}
+	q.powerDirty = true
 	q.onGround = pos.Z <= 0
 }
 
@@ -206,12 +215,19 @@ func (q *Quad) CommandThrusts(n [NumMotors]float64) {
 func (q *Quad) MotorThrusts() [NumMotors]float64 { return q.thrustN }
 
 // ElectricalPowerW returns the present propulsion electrical power draw.
+// The value is computed once per thrust change and cached, so the several
+// per-step consumers (autopilot ledger, trace recorder, scenario probe) share
+// one evaluation of the math.Pow-heavy rotor power model.
 func (q *Quad) ElectricalPowerW() float64 {
-	p := 0.0
-	for _, tN := range q.thrustN {
-		p += propulsion.ElectricalPower(tN, q.propD, q.cfg.Eff)
+	if q.powerDirty {
+		p := 0.0
+		for _, tN := range q.thrustN {
+			p += propulsion.ElectricalPower(tN, q.propD, q.cfg.Eff)
+		}
+		q.powerW = p
+		q.powerDirty = false
 	}
-	return p
+	return q.powerW
 }
 
 // CurrentLoadFraction is the present total thrust over the TWR maximum — the
@@ -251,6 +267,7 @@ func (q *Quad) Step(dt float64) {
 		}
 		q.thrustN[i] += alpha * (cmd - q.thrustN[i])
 	}
+	q.powerDirty = true
 
 	// Forces.
 	totalThrust := 0.0

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dronedse/mathx"
+	"dronedse/propulsion"
 )
 
 func TestNewQuadValidation(t *testing.T) {
@@ -223,5 +224,41 @@ func TestAttitudeStaysUnit(t *testing.T) {
 		if n := q.State().Att.Norm(); math.Abs(n-1) > 1e-6 {
 			t.Fatalf("attitude norm drifted to %v at step %d", n, i)
 		}
+	}
+}
+
+// TestElectricalPowerCacheInvalidation pins the per-step power cache: the
+// cached value must match an uncached evaluation of the rotor power model
+// after every mutation that changes motor thrusts (Step, Teleport), and
+// repeated reads between steps must return the identical bits.
+func TestElectricalPowerCacheInvalidation(t *testing.T) {
+	uncached := func(q *Quad) float64 {
+		p := 0.0
+		for _, tN := range q.MotorThrusts() {
+			p += propulsion.ElectricalPower(tN, q.propD, q.cfg.Eff)
+		}
+		return p
+	}
+	q, err := NewQuad(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q.ElectricalPowerW(), uncached(q); got != want {
+		t.Fatalf("fresh quad: cached %v != uncached %v", got, want)
+	}
+	q.Teleport(mathx.V3(0, 0, 10))
+	if got, want := q.ElectricalPowerW(), uncached(q); got != want {
+		t.Fatalf("after teleport: cached %v != uncached %v", got, want)
+	}
+	hover := q.HoverThrustPerMotorN()
+	q.CommandThrusts([NumMotors]float64{hover * 1.2, hover, hover, hover * 0.8})
+	for i := 0; i < 50; i++ {
+		q.Step(1e-3)
+		if got, want := q.ElectricalPowerW(), uncached(q); got != want {
+			t.Fatalf("step %d: cached %v != uncached %v", i, got, want)
+		}
+	}
+	if a, b := q.ElectricalPowerW(), q.ElectricalPowerW(); a != b {
+		t.Fatalf("re-read between steps changed: %v != %v", a, b)
 	}
 }

@@ -66,6 +66,21 @@ func (r *Recorder) Observe(t, powerW float64) {
 	r.lastPower = powerW
 }
 
+// Reserve grows the sample capacity to cover a recording of the given
+// duration, so a full flight's sampling does no steady-state append
+// reallocation.
+func (r *Recorder) Reserve(durationS float64) {
+	if r.PeriodS <= 0 {
+		return
+	}
+	n := int(durationS/r.PeriodS) + 2
+	if cap(r.samples) < n {
+		samples := make([]Sample, len(r.samples), n)
+		copy(samples, r.samples)
+		r.samples = samples
+	}
+}
+
 // Samples returns the recorded series.
 func (r *Recorder) Samples() []Sample { return r.samples }
 
