@@ -1,11 +1,23 @@
-# Build/CI entry points. `make ci` is the gate every PR must pass: vet,
-# build, the full test suite under the race detector (mandatory now that the
-# parallelx worker pools and the Resolve memoization cache share state
-# across goroutines), and a short benchmark smoke run.
+# Build/CI entry points. `make ci` is the gate every PR must pass: format
+# check, vet, build, the full test suite under the race detector (mandatory
+# now that the parallelx worker pools and the Resolve memoization cache share
+# state across goroutines), the benchmark smokes, and the command smokes.
+#
+# The gate is split so CI can fan the slow halves out as parallel jobs
+# (.github/workflows/ci.yml) while one `make ci` still runs everything
+# locally:
+#
+#   ci-quick   fmt-check + vet + build + test — the fast inner loop
+#   race       the full suite under the race detector
+#   ci-bench   the benchmark smokes (core, SLAM, fault, batch)
+#   ci-smoke   the end-to-end command smokes, including the fleetd pipeline
+#   vuln       govulncheck, when installed (CI installs it; locally it is
+#              skipped with a notice rather than failed)
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: all build vet test race bench-smoke bench-slam bench-fault bench-batch bench-json smoke-cmds ci
+.PHONY: all build vet test race fmt-check vuln bench-smoke bench-slam bench-fault bench-batch bench-json smoke-cmds ci-quick ci-bench ci-smoke ci
 
 all: build
 
@@ -14,6 +26,19 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fail on any file gofmt would rewrite, listing the offenders.
+fmt-check:
+	@out=$$($(GOFMT) -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Known-vulnerability scan. govulncheck is not vendored; CI installs it,
+# local runs without it skip rather than fail.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vuln: govulncheck not installed, skipping"; fi
 
 test:
 	$(GO) test ./...
@@ -71,5 +96,12 @@ smoke-cmds:
 	$(GO) run ./examples/obstacle_avoidance >/dev/null
 	$(GO) run ./examples/fleet_batch >/dev/null
 	$(GO) run ./examples/slam_offload >/dev/null
+	sh scripts/fleet_smoke.sh
 
-ci: vet build race bench-smoke bench-slam bench-fault bench-batch smoke-cmds
+ci-quick: fmt-check vet build test
+
+ci-bench: bench-smoke bench-slam bench-fault bench-batch
+
+ci-smoke: smoke-cmds
+
+ci: fmt-check vet build race ci-bench ci-smoke

@@ -8,7 +8,7 @@
 //
 //	benchjson                 # quick suite -> BENCH_core.json
 //	benchjson -o - -seqs 2    # print to stdout, truncated SLAM suite
-//	benchjson -quick -o -     # smoke subset (resolve + scenario_flight)
+//	benchjson -quick -o -     # smoke subset (resolve, scenario/batch/fleet kernels)
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 	"dronedse/core"
 	"dronedse/dataset"
 	"dronedse/faultx"
+	"dronedse/fleet"
 	"dronedse/parallelx"
 	"dronedse/scenario"
 	"dronedse/slam"
@@ -160,6 +161,32 @@ func main() {
 	for _, size := range []int{1, 16, 64} {
 		measureN(fmt.Sprintf("scenario_batch%d", size), serial, size, batchKernel(size))
 	}
+	// Fleet-server kernel: 256 resident hover flights stepped through the
+	// whole fleetd engine path — admission bookkeeping, sharded TickN,
+	// telemetry publish into subscriber-less hubs — reported per drone-step.
+	// The delta against scenario_batch is the multi-tenancy overhead.
+	fleetLanes, fleetStride := 256, 100
+	measureN("fleet_step256", pools, fleetLanes*fleetStride, func(b *testing.B) {
+		srv := fleet.New(fleet.Config{Shards: 2, MaxLanes: fleetLanes, DropArtifacts: true})
+		specs := make([]fleet.JobSpec, fleetLanes)
+		for j := range specs {
+			specs[j] = fleet.JobSpec{Seed: int64(j + 1), Hover: true, MaxSeconds: 3600}
+		}
+		if _, err := srv.SubmitAll(specs); err != nil {
+			b.Fatal(err)
+		}
+		srv.Advance(10000) // through takeoff into steady hover
+		if st := srv.Stats(); st.Live != fleetLanes {
+			b.Fatalf("%d of %d lanes live after warmup", st.Live, fleetLanes)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.Advance(fleetStride)
+		}
+		b.StopTimer()
+		srv.Shutdown()
+	})
 	if *quick {
 		writeReport(rep, *out)
 		return

@@ -1,0 +1,92 @@
+// Command fleetd hosts the multi-tenant fleet-simulation server: a JSON
+// job API over HTTP plus a framed TCP telemetry feed, both fronting one
+// fleet.Server engine that shards flights across scenario.Batch instances.
+//
+// Usage:
+//
+//	fleetd                                  # API on :8480, telemetry on :8481
+//	fleetd -http 127.0.0.1:0 -telem 127.0.0.1:0 -addrfile /tmp/fleetd.addr
+//	fleetd -shards 4 -lanes 10240 -lite     # 10k-lane configuration
+//
+// With -addrfile the actually-bound addresses are written as shell-
+// sourceable lines (http_addr=..., telem_addr=...) once both listeners are
+// up — the hook scripts and smoke tests use this to avoid fixed ports.
+//
+// The process exits cleanly on SIGINT/SIGTERM or a client's POST /shutdown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dronedse/fleet"
+	"dronedse/parallelx"
+)
+
+func main() {
+	httpAddr := flag.String("http", "127.0.0.1:8480", "job API listen address")
+	telemAddr := flag.String("telem", "127.0.0.1:8481", "telemetry stream listen address")
+	shards := flag.Int("shards", 0, "batch shards (0 = server default)")
+	lanes := flag.Int("lanes", 0, "max concurrent lanes (0 = server default)")
+	stride := flag.Int("stride", 0, "physics steps per engine advance (0 = server default)")
+	subqueue := flag.Int("subqueue", 0, "per-subscriber queue depth in telemetry units (0 = default)")
+	lite := flag.Bool("lite", false, "drop per-flight artifacts after digesting (10k+ lane runs)")
+	procs := flag.Int("procs", 0, "parallelx pool size (0 = all cores)")
+	addrfile := flag.String("addrfile", "", "write bound addresses to this file, shell-sourceable")
+	flag.Parse()
+
+	if *procs > 0 {
+		parallelx.SetPoolSize(*procs)
+	}
+
+	srv := fleet.New(fleet.Config{
+		Shards:        *shards,
+		MaxLanes:      *lanes,
+		TickStride:    *stride,
+		SubQueue:      *subqueue,
+		DropArtifacts: *lite,
+	})
+
+	httpLn, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fatal("http listen: %v", err)
+	}
+	telemLn, err := net.Listen("tcp", *telemAddr)
+	if err != nil {
+		fatal("telemetry listen: %v", err)
+	}
+	if *addrfile != "" {
+		body := fmt.Sprintf("http_addr=%s\ntelem_addr=%s\n",
+			httpLn.Addr(), telemLn.Addr())
+		if err := os.WriteFile(*addrfile, []byte(body), 0o644); err != nil {
+			fatal("addrfile: %v", err)
+		}
+	}
+	fmt.Printf("fleetd: job API on %s, telemetry on %s\n", httpLn.Addr(), telemLn.Addr())
+
+	go srv.Run()
+	go srv.ServeTelemetry(telemLn)
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(httpLn)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-sig:
+		fmt.Println("fleetd: signal, shutting down")
+	case <-srv.ShutdownRequested():
+		fmt.Println("fleetd: shutdown requested")
+	}
+	srv.Shutdown()
+	hs.Close()
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fleetd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,189 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to a fleetd job API over HTTP. The zero HTTPClient uses
+// http.DefaultClient.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8480".
+	Base string
+	// HTTPClient overrides the transport (nil = http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given server root.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON response into out (when non-nil).
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("fleetd: %s", e.Error)
+		}
+		return fmt.Errorf("fleetd: %s %s: %s", method, path, resp.Status)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit enqueues jobs and returns their IDs.
+func (c *Client) Submit(specs []JobSpec) ([]uint64, error) {
+	var resp struct {
+		IDs []uint64 `json:"ids"`
+	}
+	if err := c.do(http.MethodPost, "/jobs", specs, &resp); err != nil {
+		return nil, err
+	}
+	return resp.IDs, nil
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(id uint64) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(http.MethodGet, fmt.Sprintf("/jobs/%d", id), nil, &st)
+	return st, err
+}
+
+// Jobs fetches every job's status, in submission order.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	var resp struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := c.do(http.MethodGet, "/jobs", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// Stats fetches the server's counter snapshot.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	err := c.do(http.MethodGet, "/stats", nil, &st)
+	return st, err
+}
+
+// Shutdown asks the server process to exit.
+func (c *Client) Shutdown() error {
+	return c.do(http.MethodPost, "/shutdown", nil, nil)
+}
+
+// WaitAll polls until every submitted job reaches a terminal state and
+// returns the final statuses; it fails once the timeout elapses.
+func (c *Client) WaitAll(timeout, poll time.Duration) ([]JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		jobs, err := c.Jobs()
+		if err != nil {
+			return nil, err
+		}
+		pending := 0
+		for _, j := range jobs {
+			if j.State != JobDone.String() && j.State != JobFailed.String() {
+				pending++
+			}
+		}
+		if pending == 0 {
+			return jobs, nil
+		}
+		if time.Now().After(deadline) {
+			return jobs, fmt.Errorf("fleetd: %d of %d jobs still pending after %v",
+				pending, len(jobs), timeout)
+		}
+		time.Sleep(poll)
+	}
+}
+
+// DialStream subscribes to a job's telemetry over the framed TCP protocol:
+// it dials addr, sends the SUB line, and verifies the OK handshake. The
+// returned connection yields the job's raw MAVLink stream until the job
+// finishes (EOF); close it to unsubscribe.
+func DialStream(addr string, id uint64) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(conn, "SUB %d\n", id); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(HandshakeTimeout))
+	// Read the status line unbuffered, byte by byte, so no telemetry bytes
+	// that follow "OK\n" are swallowed by a reader we then discard.
+	status, err := readLine(conn, 256)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("fleet: subscribe handshake: %w", err)
+	}
+	if strings.TrimSpace(status) != "OK" {
+		conn.Close()
+		return nil, fmt.Errorf("fleet: subscribe refused: %s", strings.TrimSpace(status))
+	}
+	conn.SetReadDeadline(time.Time{})
+	return conn, nil
+}
+
+// readLine reads up to limit bytes one at a time until '\n'.
+func readLine(r io.Reader, limit int) (string, error) {
+	var line []byte
+	buf := make([]byte, 1)
+	for len(line) < limit {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return "", err
+		}
+		if buf[0] == '\n' {
+			return string(line), nil
+		}
+		line = append(line, buf[0])
+	}
+	return "", fmt.Errorf("handshake line over %d bytes", limit)
+}

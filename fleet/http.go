@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the JSON-over-HTTP job API:
+//
+//	POST /jobs      body: [JobSpec, ...]        → {"ids":[...]}
+//	GET  /jobs                                  → {"jobs":[JobStatus, ...]}
+//	GET  /jobs/{id}                             → JobStatus
+//	GET  /stats                                 → Stats
+//	POST /shutdown                              → {"ok":true}; the host
+//	     process observes ShutdownRequested and exits.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var specs []JobSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+		if err := dec.Decode(&specs); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("bad job list: %v", err))
+			return
+		}
+		if len(specs) == 0 {
+			httpError(w, http.StatusBadRequest, "empty job list")
+			return
+		}
+		ids, err := s.SubmitAll(specs)
+		if err != nil {
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		writeJSON(w, map[string][]uint64{"ids": ids})
+	})
+
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string][]JobStatus{"jobs": s.Jobs()})
+	})
+
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad job id")
+			return
+		}
+		st, ok := s.Job(id)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, st)
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+
+	mux.HandleFunc("POST /shutdown", func(w http.ResponseWriter, r *http.Request) {
+		s.requestShutdown()
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -1,0 +1,391 @@
+package fleet
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dronedse/groundstation"
+	"dronedse/scenario"
+)
+
+// Config sizes a Server. The zero value is a usable single-box default.
+type Config struct {
+	// Shards is the number of scenario.Batch instances active flights are
+	// spread across (default 2). Admission balances onto the least-loaded
+	// shard; per-lane results are shard-invariant.
+	Shards int
+	// MaxLanes caps concurrently flying lanes across all shards (default
+	// 1024). Jobs beyond the cap queue FIFO and are admitted as eviction
+	// frees slots.
+	MaxLanes int
+	// TickStride is how many physics steps each engine advance moves every
+	// live lane (default 250 — one 4 Hz telemetry unit per lane per
+	// advance at the default cadence).
+	TickStride int
+	// SubQueue is the per-subscriber telemetry queue depth in units
+	// (default groundstation.DefaultSubQueue). Laggards shed oldest.
+	SubQueue int
+	// DropArtifacts frees each finished job's log, trace and trajectory
+	// after digesting, keeping only the summary and digests — the 10k+
+	// lane benchmark configuration. Result-returning APIs then serve a
+	// summary-only Result.
+	DropArtifacts bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.MaxLanes <= 0 {
+		c.MaxLanes = 1024
+	}
+	if c.TickStride <= 0 {
+		c.TickStride = 250
+	}
+	return c
+}
+
+// job is the server-side record of one submitted flight.
+type job struct {
+	id   uint64
+	spec JobSpec
+	hub  *groundstation.Hub
+
+	// Mutable under Server.mu.
+	state JobState
+	res   *scenario.Result
+	err   error
+	dig   *Digests
+}
+
+// shard is one scenario.Batch plus the lane→job table. Owned exclusively by
+// the engine goroutine (the Advance caller); never touched under Server.mu.
+type shard struct {
+	batch *scenario.Batch
+	jobs  map[int]*job // occupied lane index → job
+}
+
+// Server hosts concurrent simulation jobs. Exactly one goroutine may drive
+// the engine — either Run or a manual Advance loop — while any number of
+// goroutines submit jobs, query status, and stream telemetry.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	jobs   map[uint64]*job
+	order  []uint64 // submission order, for listing
+	queue  []*job   // admission FIFO
+	nextID uint64
+	closed bool
+	conns  map[net.Conn]struct{} // live telemetry connections
+
+	// Engine-owned (no mu): only the Advance caller touches the shards.
+	shards []*shard
+
+	// Step counters, read by Stats while the engine advances.
+	ticks     atomic.Uint64
+	laneSteps atomic.Uint64
+
+	// Counter fields under mu. live is the occupied-lane count mirrored
+	// out of the engine-owned shard tables so Stats never reads those.
+	completed, failed, peakLive, live int
+
+	wake        chan struct{}
+	quit        chan struct{}
+	reqShutdown chan struct{}
+	reqOnce     sync.Once
+}
+
+// New builds an idle server; drive it with Run (or Advance) plus the
+// Handler/ServeTelemetry front ends.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		jobs:        make(map[uint64]*job),
+		conns:       make(map[net.Conn]struct{}),
+		wake:        make(chan struct{}, 1),
+		quit:        make(chan struct{}),
+		reqShutdown: make(chan struct{}),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, &shard{
+			batch: scenario.NewBatchOf(),
+			jobs:  make(map[int]*job),
+		})
+	}
+	return s
+}
+
+// Submit enqueues one job and returns its ID. The job's telemetry hub
+// exists from submission, so clients may subscribe before the flight
+// launches.
+func (s *Server) Submit(spec JobSpec) (uint64, error) {
+	ids, err := s.SubmitAll([]JobSpec{spec})
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// SubmitAll enqueues jobs in order and returns their IDs.
+func (s *Server) SubmitAll(specs []JobSpec) ([]uint64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("fleet: server shut down")
+	}
+	ids := make([]uint64, len(specs))
+	for i, spec := range specs {
+		s.nextID++
+		j := &job{id: s.nextID, spec: spec, hub: groundstation.NewHub()}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.queue = append(s.queue, j)
+		ids[i] = j.id
+	}
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return ids, nil
+}
+
+// admitLocked drains the queue into free lanes: build the stack, install
+// the telemetry hub as the Spec's sink, and admit onto the least-loaded
+// shard. A Build failure fails the job without consuming a lane. Called
+// only from the engine goroutine (holding mu), so the shard tables are
+// safe to touch.
+func (s *Server) admitLocked() {
+	for len(s.queue) > 0 && s.live < s.cfg.MaxLanes {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		spec := j.spec.Scenario()
+		hub := j.hub
+		spec.Telemetry.Send = func(raw []byte) { hub.Publish(raw) }
+		st, err := scenario.Build(spec)
+		if err != nil {
+			j.state, j.err = JobFailed, err
+			s.failed++
+			hub.Close()
+			continue
+		}
+		sh := s.shards[0]
+		for _, cand := range s.shards[1:] {
+			if len(cand.jobs) < len(sh.jobs) {
+				sh = cand
+			}
+		}
+		lane := sh.batch.Admit(st)
+		if sh.batch.LaneDone(lane) { // Start failed on a running batch
+			res, lerr := sh.batch.Evict(lane)
+			j.state, j.res, j.err = JobFailed, res, lerr
+			s.failed++
+			hub.Close()
+			continue
+		}
+		sh.jobs[lane] = j
+		j.state = JobRunning
+		s.live++
+	}
+	if s.live > s.peakLive {
+		s.peakLive = s.live
+	}
+}
+
+// finalize records a lane's outcome on its job and closes the telemetry
+// stream (subscribers drain what is queued, then see EOF).
+func (s *Server) finalize(j *job, res *scenario.Result, err error) {
+	var dig *Digests
+	if err == nil && res != nil {
+		d := DigestResult(res)
+		dig = &d
+		if s.cfg.DropArtifacts {
+			res.Log, res.Trace, res.Trajectory = nil, nil, nil
+		}
+	}
+	s.mu.Lock()
+	j.res, j.err, j.dig = res, err, dig
+	s.live--
+	if err != nil {
+		j.state = JobFailed
+		s.failed++
+	} else {
+		j.state = JobDone
+		s.completed++
+	}
+	s.mu.Unlock()
+	j.hub.Close()
+}
+
+// Advance is the engine's unit of work: admit queued jobs into free lanes,
+// step every live lane by up to k physics steps, and harvest finished
+// lanes. It reports whether any jobs are live or queued afterwards. Run is
+// Advance in a loop; tests and benchmarks call it directly for lockstep
+// control. Only one goroutine may call Advance.
+func (s *Server) Advance(k int) bool {
+	s.mu.Lock()
+	s.admitLocked()
+	s.mu.Unlock()
+
+	busy := false
+	for _, sh := range s.shards {
+		if len(sh.jobs) == 0 {
+			continue
+		}
+		busy = true
+		s.laneSteps.Add(uint64(sh.batch.Live()) * uint64(k))
+		sh.batch.TickN(k)
+		for lane, j := range sh.jobs {
+			if !sh.batch.LaneDone(lane) {
+				continue
+			}
+			res, err := sh.batch.Evict(lane)
+			delete(sh.jobs, lane)
+			s.finalize(j, res, err)
+		}
+	}
+	s.ticks.Add(1)
+
+	s.mu.Lock()
+	queued := len(s.queue)
+	s.mu.Unlock()
+	return busy || queued > 0
+}
+
+// Run drives the engine until Shutdown, sleeping while there is no work.
+func (s *Server) Run() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		if !s.Advance(s.cfg.TickStride) {
+			select {
+			case <-s.quit:
+				return
+			case <-s.wake:
+			}
+		}
+	}
+}
+
+// Shutdown stops the engine loop, ends every telemetry stream, and closes
+// live subscriber connections. Queued jobs stay queued; running lanes stop
+// where they are. Idempotent.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+
+	close(s.quit)
+	for _, j := range jobs {
+		j.hub.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.requestShutdown()
+}
+
+// ShutdownRequested is closed when a client posts /shutdown (or Shutdown
+// runs); process mains select on it to exit.
+func (s *Server) ShutdownRequested() <-chan struct{} { return s.reqShutdown }
+
+func (s *Server) requestShutdown() { s.reqOnce.Do(func() { close(s.reqShutdown) }) }
+
+// statusLocked renders a job's API view.
+func (s *Server) statusLocked(j *job) JobStatus {
+	st := JobStatus{ID: j.id, State: j.state.String(), Spec: j.spec}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.res != nil {
+		st.FlightTimeS = j.res.FlightTimeS
+		st.EnergyWh = j.res.EnergyWh
+		st.ComputeWh = j.res.ComputeWh
+		st.ComputeFlightCostMin = j.res.ComputeFlightCostMin()
+		st.Completed = j.res.Completed
+		st.FinalMode = j.res.FinalMode.String()
+	}
+	st.Digests = j.dig
+	return st
+}
+
+// Job returns a job's status snapshot.
+func (s *Server) Job(id uint64) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return s.statusLocked(j), true
+}
+
+// Jobs returns every job's status, in submission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// Result returns a finished job's structured outcome — the same Result a
+// direct scenario.Run would have produced (summary-only when the server
+// runs with DropArtifacts).
+func (s *Server) Result(id uint64) (*scenario.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, errors.New("fleet: unknown job")
+	}
+	if !j.state.Terminal() {
+		return nil, errors.New("fleet: job still in flight")
+	}
+	return j.res, j.err
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Submitted: len(s.order),
+		Queued:    len(s.queue),
+		Live:      s.live,
+		PeakLive:  s.peakLive,
+		Completed: s.completed,
+		Failed:    s.failed,
+		Shards:    len(s.shards),
+		Ticks:     s.ticks.Load(),
+		LaneSteps: s.laneSteps.Load(),
+	}
+	for _, j := range s.jobs {
+		pub, drop, subs := j.hub.Stats()
+		st.FramesPublished += pub
+		st.FramesDropped += drop
+		st.Subscribers += subs
+	}
+	return st
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"dronedse/groundstation"
+)
+
+// Telemetry wire protocol: a subscriber connects over TCP and sends one
+// line — "SUB <job-id>\n" — within HandshakeTimeout. The server answers
+// "OK\n" and then streams the job's raw MAVLink frames until the job
+// finishes (clean EOF) or the connection drops. On any problem it answers
+// "ERR <reason>\n" and closes. Reconnect is just redial + resubscribe: the
+// resumed stream is frame-aligned and duplicate-free (units are shed whole,
+// never split), though units published while disconnected are gone.
+
+// HandshakeTimeout bounds how long a subscriber may take to send its SUB
+// line, so an idle connection cannot pin a serving goroutine.
+const HandshakeTimeout = 10 * time.Second
+
+// ServeTelemetry accepts subscriber connections on ln until Shutdown (which
+// closes every live connection) or a listener error. Each connection is
+// served by its own goroutine; a stalled subscriber blocks only its own
+// goroutine while its queue sheds oldest units.
+func (s *Server) ServeTelemetry(ln net.Listener) error {
+	go func() {
+		<-s.quit
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			select {
+			case <-s.quit:
+				return nil
+			default:
+			}
+			return err
+		}
+		if !s.trackConn(conn) {
+			conn.Close()
+			return nil
+		}
+		go s.serveSubscriber(conn)
+	}
+}
+
+func (s *Server) trackConn(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrackConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// serveSubscriber handshakes one connection and pumps its subscription.
+func (s *Server) serveSubscriber(conn net.Conn) {
+	defer conn.Close()
+	defer s.untrackConn(conn)
+
+	conn.SetReadDeadline(time.Now().Add(HandshakeTimeout))
+	line, err := bufio.NewReaderSize(conn, 256).ReadString('\n')
+	if err != nil {
+		fmt.Fprintf(conn, "ERR handshake: %v\n", err)
+		return
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 || fields[0] != "SUB" {
+		fmt.Fprint(conn, "ERR expected: SUB <job-id>\n")
+		return
+	}
+	id, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		fmt.Fprint(conn, "ERR bad job id\n")
+		return
+	}
+
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		fmt.Fprint(conn, "ERR unknown job\n")
+		return
+	}
+
+	sub := j.hub.Subscribe(s.cfg.SubQueue)
+	defer j.hub.Unsubscribe(sub)
+	conn.SetReadDeadline(time.Time{})
+	if _, err := fmt.Fprint(conn, "OK\n"); err != nil {
+		return
+	}
+	// StreamTo returns nil when the job finishes (hub closed, queue
+	// drained) — the client sees a clean EOF — or the write error when the
+	// subscriber went away or Shutdown closed the connection under it.
+	groundstation.StreamTo(conn, sub)
+}

@@ -31,6 +31,7 @@ type Batch struct {
 	lanes []*Stack
 	done  []bool
 	errs  []error
+	freed []int // evicted lane slots available for Admit reuse
 
 	started bool
 	live    int
@@ -83,8 +84,74 @@ func (b *Batch) Live() int {
 	return b.live
 }
 
-// Lane exposes lane i's stack (nil when its Build failed).
+// Lane exposes lane i's stack (nil when its Build failed or the lane was
+// evicted).
 func (b *Batch) Lane(i int) *Stack { return b.lanes[i] }
+
+// LaneDone reports whether lane i has finished (normally, with an error, or
+// by eviction).
+func (b *Batch) LaneDone(i int) bool { return b.done[i] }
+
+// LaneErr returns lane i's error, if any.
+func (b *Batch) LaneErr(i int) error { return b.errs[i] }
+
+// Admit installs an un-started stack as a new lane — reusing an evicted
+// slot before growing the batch — and returns its lane index. On a started
+// batch the lane is armed immediately (a Start failure finishes it with the
+// error recorded, exactly as Start treats a founding lane). Because lanes
+// are mutually isolated, a lane admitted mid-flight produces the same
+// bit-identical Result it would have produced in a fresh batch: co-tenant
+// count, admission order and slot index are all unobservable to it.
+//
+// Admit and Evict mutate the lane tables and must not run concurrently
+// with TickN; fleet servers call both from the single engine goroutine
+// that owns the batch.
+func (b *Batch) Admit(st *Stack) int {
+	var i int
+	if n := len(b.freed); n > 0 {
+		i = b.freed[n-1]
+		b.freed = b.freed[:n-1]
+		b.lanes[i], b.done[i], b.errs[i] = st, false, nil
+	} else {
+		i = len(b.lanes)
+		b.lanes = append(b.lanes, st)
+		b.done = append(b.done, false)
+		b.errs = append(b.errs, nil)
+	}
+	if st == nil {
+		b.done[i], b.errs[i] = true, errors.New("scenario: nil lane")
+		return i
+	}
+	if b.started {
+		if err := st.Start(); err != nil {
+			b.done[i], b.errs[i] = true, err
+		} else {
+			b.live++
+		}
+	}
+	return i
+}
+
+// Evict finalizes a finished lane: it returns the lane's outcome, clears
+// the slot, and marks it reusable by the next Admit. Evicting a live lane
+// is an error (the lane keeps flying). After eviction the lane's Result is
+// no longer reachable through Outcomes — the caller owns it.
+func (b *Batch) Evict(i int) (*Result, error) {
+	if !b.done[i] {
+		return nil, errors.New("scenario: evicting a live lane")
+	}
+	st, err := b.lanes[i], b.errs[i]
+	if st == nil && err == nil {
+		return nil, errors.New("scenario: lane already evicted")
+	}
+	var res *Result
+	if st != nil {
+		res = st.Result()
+	}
+	b.lanes[i], b.errs[i] = nil, nil
+	b.freed = append(b.freed, i)
+	return res, err
+}
 
 // Start arms every lane without advancing simulated time. A lane whose
 // Start fails finishes immediately with its error recorded.

@@ -149,6 +149,101 @@ func TestBatchLaneErrorIsolation(t *testing.T) {
 	}
 }
 
+// TestBatchAdmitMidFlightBitIdentity is the fleetd admission contract: a
+// lane admitted into an already-flying batch — including into a slot freed
+// by eviction — produces the same bit-identical Result as a solo run. The
+// batch starts empty, the way a fleet server builds it.
+func TestBatchAdmitMidFlightBitIdentity(t *testing.T) {
+	specs := []scenario.Spec{
+		{Seed: 61, Hover: true, MaxSeconds: 2},
+		{Seed: 62, Hover: true, MaxSeconds: 3, Wind: scenario.Wind{MeanMS: 4, GustMS: 2}},
+		{Seed: 63, MaxSeconds: 20},
+	}
+	want := make([]string, len(specs))
+	for i, spec := range specs {
+		res, err := scenario.Run(spec)
+		want[i] = resultDigest(t, res, err)
+	}
+
+	build := func(i int) *scenario.Stack {
+		st, err := scenario.Build(specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	b := scenario.NewBatchOf()
+	lane0 := b.Admit(build(0))
+	b.Start()
+	// Fly lane 0 alone for a while, then admit lane 1 mid-flight.
+	for i := 0; i < 3000; i++ {
+		b.Tick()
+	}
+	lane1 := b.Admit(build(1))
+	if b.Live() != 2 {
+		t.Fatalf("live = %d after mid-flight admission, want 2", b.Live())
+	}
+
+	// Run until lane 0 finishes, evict it, and admit lane 2 into the freed
+	// slot while lane 1 is still flying.
+	for !b.LaneDone(lane0) {
+		b.Tick()
+	}
+	res0, err0 := b.Evict(lane0)
+	if got := resultDigest(t, res0, err0); got != want[0] {
+		t.Fatal("founding lane diverged from its solo run")
+	}
+	lane2 := b.Admit(build(2))
+	if lane2 != lane0 {
+		t.Fatalf("admission did not reuse evicted slot: got lane %d, want %d", lane2, lane0)
+	}
+
+	for !b.TickN(100) {
+	}
+	res1, err1 := b.Evict(lane1)
+	if got := resultDigest(t, res1, err1); got != want[1] {
+		t.Fatal("mid-flight-admitted lane diverged from its solo run")
+	}
+	res2, err2 := b.Evict(lane2)
+	if got := resultDigest(t, res2, err2); got != want[2] {
+		t.Fatal("slot-reusing lane diverged from its solo run")
+	}
+}
+
+// TestBatchEvictGuards pins the eviction error paths: live lanes cannot be
+// evicted, slots cannot be evicted twice, and a build-failed lane's error
+// is recoverable exactly once.
+func TestBatchEvictGuards(t *testing.T) {
+	b := scenario.NewBatchOf()
+	st, err := scenario.Build(scenario.Spec{Seed: 71, Hover: true, MaxSeconds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane := b.Admit(st)
+	b.Start()
+	b.Tick()
+	if _, err := b.Evict(lane); err == nil {
+		t.Fatal("evicted a live lane")
+	}
+	for !b.Tick() {
+	}
+	if res, err := b.Evict(lane); err != nil || res == nil {
+		t.Fatalf("evicting a finished lane: res=%v err=%v", res, err)
+	}
+	if _, err := b.Evict(lane); err == nil {
+		t.Fatal("evicted the same lane twice")
+	}
+
+	badLane := b.Admit(nil)
+	if badLane != lane {
+		t.Fatalf("freed slot not reused: got %d, want %d", badLane, lane)
+	}
+	if res, err := b.Evict(badLane); err == nil || res != nil {
+		t.Fatal("nil lane eviction must surface its admission error")
+	}
+}
+
 // TestBatchZeroAllocSteadyState is the ISSUE 6 alloc-regression guard: once
 // a batch is warmed past takeoff, advancing it must do zero steady-state
 // heap allocations per step. It runs on the serial path (pool 1) — parallel

@@ -389,12 +389,12 @@ func (st *Stack) probe(a *autopilot.Autopilot, dt float64) {
 type driverState int
 
 const (
-	drvUnstarted driverState = iota
-	drvTakeoff               // RunUntil(mode != Takeoff, 30 s)
-	drvHover                 // RunFor(MaxSeconds) loiter before landing
-	drvLanding               // RunUntil(mode == Disarmed, 60 s)
-	drvTrajectory            // RunUntil(mode == Hover, TotalS + 30 s)
-	drvMission               // RunUntil(mode == Disarmed, MaxSeconds - t)
+	drvUnstarted  driverState = iota
+	drvTakeoff                // RunUntil(mode != Takeoff, 30 s)
+	drvHover                  // RunFor(MaxSeconds) loiter before landing
+	drvLanding                // RunUntil(mode == Disarmed, 60 s)
+	drvTrajectory             // RunUntil(mode == Hover, TotalS + 30 s)
+	drvMission                // RunUntil(mode == Disarmed, MaxSeconds - t)
 	drvDone
 )
 
