@@ -9,7 +9,8 @@
 #
 #   ci-quick   fmt-check + vet + build + test — the fast inner loop
 #   race       the full suite under the race detector
-#   ci-bench   the benchmark smokes (core, SLAM, fault, batch)
+#   ci-bench   the benchmark smokes (core, SLAM, fault, batch, roofline)
+#              plus the BENCH_core.json ns/op regression guard
 #   ci-smoke   the end-to-end command smokes, including the fleetd pipeline
 #   vuln       govulncheck, when installed (CI installs it; locally it is
 #              skipped with a notice rather than failed)
@@ -17,7 +18,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet test race fmt-check vuln bench-smoke bench-slam bench-fault bench-batch bench-json smoke-cmds ci-quick ci-bench ci-smoke ci
+.PHONY: all build vet test race fmt-check vuln bench-smoke bench-slam bench-fault bench-batch bench-json bench-roofline bench-guard smoke-cmds ci-quick ci-bench ci-smoke ci
 
 all: build
 
@@ -73,9 +74,25 @@ bench-batch:
 	$(GO) test -race ./scenario/ -run 'TestBatchSerialBitIdentity|TestBatchTickGranularityInvariance|TestBatchLaneErrorIsolation'
 	$(GO) test ./scenario/ -run TestBatchZeroAllocSteadyState
 
-# Perf trajectory artifact: BENCH_core.json (ns/op, allocs/op per pool size).
+# Perf trajectory artifact: BENCH_core.json (ns/op, allocs/op per pool size,
+# plus the per-kernel roofline placements).
 bench-json:
 	$(GO) run ./cmd/benchjson -o BENCH_core.json
+
+# Roofline smoke: the arithmetic-intensity ledgers and roof placements must be
+# bit-identical across pool sizes (golden + completeness tests), and the
+# generator itself must run clean.
+bench-roofline:
+	$(GO) test ./roofline/ ./cmd/roofline/
+	$(GO) run ./cmd/roofline -procs 2 -nofig >/dev/null
+
+# Perf-regression gate: re-measure the quick kernel suite and compare ns/op
+# against the committed BENCH_core.json baseline (fail beyond +25%). The quick
+# suite skips the slow full-sequence rows, which are skipped by name match.
+# Re-baseline deliberately with `make bench-json` and commit the diff.
+bench-guard:
+	$(GO) run ./cmd/benchjson -quick -o /tmp/bench_guard_new.json
+	$(GO) run ./cmd/benchguard -new /tmp/bench_guard_new.json
 
 # End-to-end command smoke: build and briefly run every cmd binary and every
 # example, so a refactor that compiles but breaks a tool's wiring (all of
@@ -100,7 +117,7 @@ smoke-cmds:
 
 ci-quick: fmt-check vet build test
 
-ci-bench: bench-smoke bench-slam bench-fault bench-batch
+ci-bench: bench-smoke bench-slam bench-fault bench-batch bench-roofline bench-guard
 
 ci-smoke: smoke-cmds
 

@@ -205,6 +205,10 @@ func (a *Autopilot) Suite() *sensors.Suite { return a.suite }
 // Estimator exposes the fusion stack (read-mostly; tests and telemetry).
 func (a *Autopilot) Estimator() *estimation.Estimator { return a.est }
 
+// Cascade exposes the control cascade (read-mostly; tests and the work
+// ledgers the roofline model aggregates).
+func (a *Autopilot) Cascade() *control.Cascade { return a.cascade }
+
 // Mode returns the current flight mode.
 func (a *Autopilot) Mode() Mode { return a.mode }
 

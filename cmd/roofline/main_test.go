@@ -1,0 +1,108 @@
+package main
+
+// Golden-output and accounting-completeness tests for the roofline
+// dashboard. The golden file pins the full -nofig output — ledger table,
+// ceilings, placements — and the test replays it at pool sizes 1, 2 and 8:
+// the ledgers are deterministic functions of the workload inputs, so a
+// difference at any pool size means a scheduling dependence leaked into the
+// accounting (exactly the regression the slam.Stats contract forbids).
+// Regenerate deliberately with
+//
+//	GOLDEN_UPDATE=1 go test ./cmd/roofline/ -run Golden
+//
+// after any intentional change to the pipeline's arithmetic or the byte
+// models.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dronedse/parallelx"
+)
+
+var updateGoldens = os.Getenv("GOLDEN_UPDATE") != ""
+
+const goldenPath = "testdata/roofline.golden"
+
+// capture runs the dashboard at a pool size and returns the -nofig output.
+func capture(t *testing.T, procs int) string {
+	t.Helper()
+	parallelx.SetPoolSize(procs)
+	defer parallelx.SetPoolSize(1)
+	var buf bytes.Buffer
+	if _, err := run(&buf, ""); err != nil {
+		t.Fatalf("run(procs=%d): %v", procs, err)
+	}
+	return buf.String()
+}
+
+func TestGoldenOutputPoolInvariant(t *testing.T) {
+	out1 := capture(t, 1)
+	for _, procs := range []int{2, 8} {
+		if out := capture(t, procs); out != out1 {
+			t.Fatalf("output differs between pool 1 and pool %d:\n--- pool 1 ---\n%s\n--- pool %d ---\n%s",
+				procs, out1, procs, out)
+		}
+	}
+	if updateGoldens {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(out1), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", goldenPath)
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with GOLDEN_UPDATE=1 go test ./cmd/roofline/ -run Golden)", err)
+	}
+	if out1 != string(want) {
+		t.Fatalf("output drifted from %s — if the change is intentional, regenerate with GOLDEN_UPDATE=1.\n--- got ---\n%s\n--- want ---\n%s",
+			goldenPath, out1, want)
+	}
+}
+
+// TestLedgerCompleteness asserts every kernel of the flight stack charges
+// its ledger: a kernel whose ops are zero has silently dropped out of the
+// accounting contract, and every roofline/retiming figure built on it
+// would undercount that stage for free.
+func TestLedgerCompleteness(t *testing.T) {
+	parallelx.SetPoolSize(1)
+	var buf bytes.Buffer
+	rep, err := run(&buf, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"detect", "match", "local_ba", "global_ba", "pose_graph",
+		"ekf_predict", "ekf_update", "control"}
+	got := map[string]bool{}
+	for _, p := range rep.Points {
+		got[p.Name] = true
+		if p.Ops == 0 {
+			t.Errorf("kernel %s charged zero ops", p.Name)
+		}
+		if p.Bytes == 0 {
+			t.Errorf("kernel %s modeled zero bytes", p.Name)
+		}
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("kernel %s missing from the report", name)
+		}
+	}
+	if len(rep.Ceilings) == 0 || len(rep.Placements) != len(rep.Ceilings) {
+		t.Fatalf("malformed report: %d ceilings, %d placements", len(rep.Ceilings), len(rep.Placements))
+	}
+	for i, pls := range rep.Placements {
+		for _, pl := range pls {
+			if pl.Attainable <= 0 || pl.Attainable > pl.ComputeRoof+1e-9 {
+				t.Errorf("[%s] %s: attainable %.3g outside (0, compute roof %.3g]",
+					rep.Ceilings[i].Platform, pl.Name, pl.Attainable, pl.ComputeRoof)
+			}
+		}
+	}
+}

@@ -53,6 +53,10 @@ type Cascade struct {
 	attTarget    mathx.Quat
 	thrustTarget float64 // collective, N
 	rateTarget   mathx.Vec3
+
+	// Stats is the controller's work ledger (see CtrlStats); it only
+	// counts, so reading it never perturbs the control state.
+	Stats CtrlStats
 }
 
 // NewCascade builds a tuned cascade for a plant. Gains scale with mass and
@@ -86,6 +90,8 @@ func NewCascade(q *sim.Quad) *Cascade {
 // (Table 2b: 40 Hz, ~1 s response). It converts position error into a
 // desired acceleration, then into an attitude + collective-thrust set point.
 func (c *Cascade) UpdatePosition(s sim.State, tgt Targets, dt float64) {
+	c.Stats.PositionUpdates++
+	c.Stats.PositionOps += ctrlPositionOps
 	velDes := c.posP.Update(tgt.Position.Sub(s.Pos), dt).Add(tgt.Velocity)
 	velDes = mathx.V3(
 		mathx.Clamp(velDes.X, -c.MaxVelXY, c.MaxVelXY),
@@ -158,6 +164,8 @@ func quatFromMat(m mathx.Mat3) mathx.Quat {
 // UpdateAttitude runs the mid-level attitude controller (Table 2b: 200 Hz,
 // ~100 ms response): quaternion error to body-rate set points.
 func (c *Cascade) UpdateAttitude(s sim.State, dt float64) {
+	c.Stats.AttitudeUpdates++
+	c.Stats.AttitudeOps += ctrlAttitudeOps
 	// Error quaternion in the body frame.
 	qe := s.Att.Conj().Mul(c.attTarget).Normalized()
 	if qe.W < 0 { // take the short way around
@@ -171,6 +179,8 @@ func (c *Cascade) UpdateAttitude(s sim.State, dt float64) {
 // UpdateRate runs the low-level thrust/rate controller (Table 2b: 1 kHz,
 // ~50 ms response) and returns the per-motor thrust commands.
 func (c *Cascade) UpdateRate(s sim.State, dt float64) [sim.NumMotors]float64 {
+	c.Stats.RateUpdates++
+	c.Stats.RateOps += ctrlRateOps
 	angAcc := c.rate.Update(c.rateTarget.Sub(s.Omega), dt)
 	tau := angAcc.Hadamard(c.Inertia)
 	return c.Mix(c.thrustTarget, tau)

@@ -1,0 +1,33 @@
+package control
+
+// CtrlStats is the cascade controller's work ledger, following the
+// slam.Stats accounting contract: each loop charges a deterministic,
+// leading-order flop count per invocation, so the roofline and platform
+// retiming models see a workload that depends only on how often each loop
+// ran — never on scheduling or data layout.
+type CtrlStats struct {
+	// PositionOps accumulates the 40 Hz position/velocity loop work.
+	PositionOps uint64
+	// AttitudeOps accumulates the attitude-error loop work.
+	AttitudeOps uint64
+	// RateOps accumulates the 1 kHz rate loop + motor mixer work.
+	RateOps uint64
+
+	PositionUpdates int
+	AttitudeUpdates int
+	RateUpdates     int
+}
+
+// TotalOps sums all loops.
+func (s CtrlStats) TotalOps() uint64 { return s.PositionOps + s.AttitudeOps + s.RateOps }
+
+// Leading-order flop counts per loop invocation: two Vec3PID updates plus
+// the acceleration→attitude conversion (basis construction, quaternion
+// build) for the position loop; the error-quaternion product, normalize and
+// axis extraction for the attitude loop; one Vec3PID, the inertia Hadamard
+// and the 4-motor mixer for the rate loop.
+const (
+	ctrlPositionOps = 2*30 + 60
+	ctrlAttitudeOps = 16 + 12 + 10
+	ctrlRateOps     = 30 + 3 + 28
+)

@@ -101,6 +101,10 @@ type PosVelEKF struct {
 	x []float64    // state
 	p *mathx.Dense // covariance
 
+	// Stats is the filter's work ledger (see EKFStats); it only counts, so
+	// reading it never perturbs the filter state.
+	Stats EKFStats
+
 	// AccelNoise is the process noise driven by accelerometer error
 	// (m/s^2, 1-sigma).
 	AccelNoise float64
@@ -177,6 +181,8 @@ func (k *PosVelEKF) Predict(accelWorld mathx.Vec3, dt float64) {
 	if dt <= 0 {
 		return
 	}
+	k.Stats.Predicts++
+	k.Stats.PredictOps += ekfPredictOps
 	a := [3]float64{accelWorld.X, accelWorld.Y, accelWorld.Z}
 	for i := 0; i < 3; i++ {
 		k.x[i] += k.x[3+i]*dt + 0.5*a[i]*dt*dt
@@ -195,6 +201,8 @@ func (k *PosVelEKF) Predict(accelWorld mathx.Vec3, dt float64) {
 // update applies a linear measurement z = H x + v with noise variances r.
 func (k *PosVelEKF) update(idx []int, z, r []float64) {
 	m := len(idx)
+	k.Stats.Updates++
+	k.Stats.UpdateOps += ekfUpdateOps(m)
 	// S = H P H^T + R, computed directly from the indexed rows/cols.
 	k.s.Reshape(m, m)
 	for i := 0; i < m; i++ {

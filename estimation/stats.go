@@ -1,0 +1,37 @@
+package estimation
+
+// EKFStats is the estimation work ledger, following the slam.Stats
+// accounting contract: each kernel charges a deterministic, leading-order
+// flop count for the work actually performed on its inputs, so the platform
+// retiming and roofline models see a workload that is a pure function of
+// the input stream — never of scheduling, pool size, or data layout. The
+// counts are analytic (derived from the state dimension n=6 and the
+// measurement dimension m), so scratch reuse and other pure data-structure
+// optimizations leave the ledger bit-identical.
+type EKFStats struct {
+	// PredictOps accumulates the covariance-propagation work (F P Fᵀ + Q).
+	PredictOps uint64
+	// UpdateOps accumulates the measurement-update work (gain solve and
+	// covariance correction), charged per attempted update.
+	UpdateOps uint64
+
+	Predicts int
+	Updates  int
+}
+
+// TotalOps sums both kernels.
+func (s EKFStats) TotalOps() uint64 { return s.PredictOps + s.UpdateOps }
+
+// ekfPredictOps is the leading-order flop count of one Predict with state
+// dimension 6: two 6x6 matrix products for F P Fᵀ (2·2·6³), the Q add and
+// the symmetrize (2·6²), and the state propagation (4·3).
+const ekfPredictOps = 2*2*6*6*6 + 2*6*6 + 4*3
+
+// ekfUpdateOps is the leading-order flop count of one update with an
+// m-dimensional measurement: the m³ Cholesky factorization of S, six
+// triangular solves for the gain rows (2·6·m²), the innovation/state/KH
+// applications (≈24·m), and the (I−KH)P covariance product plus symmetrize
+// (2·6³ + 2·6²).
+func ekfUpdateOps(m int) uint64 {
+	return uint64(m*m*m + 12*m*m + 24*m + 2*6*6*6 + 2*6*6)
+}

@@ -13,6 +13,7 @@
 package parallelx
 
 import (
+	"reflect"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -36,7 +37,7 @@ func SetPoolSize(n int) int {
 	return int(poolSize.Swap(int64(n)))
 }
 
-// workers returns the number of goroutines to spawn for n items.
+// workers returns the number of goroutines to use for n items.
 func workers(n int) int {
 	w := PoolSize()
 	if w > n {
@@ -47,6 +48,198 @@ func workers(n int) int {
 	}
 	return w
 }
+
+// itemRunner executes one item of a fan-out batch. The concrete runners
+// (mapJob, chunkJob) hold the batch state, so a *job plus its runner form a
+// reusable arena: pooling them keeps fan-out allocations independent of the
+// pool size.
+type itemRunner interface{ item(i int) }
+
+// job is one fan-out batch handed to the persistent workers: items [0, n)
+// are claimed with an atomic cursor, so at most poolSize goroutines (the
+// submitting caller plus the workers that picked the job up) execute it and
+// every index runs exactly once. The WaitGroup counts completed items, not
+// participating goroutines; exited counts workers that fully left run().
+// dispatch returns only once every posted invite has been consumed and its
+// taker has exited — the quiescence proof that makes unconditional arena
+// reuse race-free.
+type job struct {
+	r      itemRunner
+	n      int64
+	next   atomic.Int64
+	exited atomic.Int64
+	wg     sync.WaitGroup
+}
+
+// run claims and executes items until the job is drained.
+func (j *job) run() {
+	for {
+		i := j.next.Add(1) - 1
+		if i >= j.n {
+			return
+		}
+		j.r.item(int(i))
+		j.wg.Done()
+	}
+}
+
+// jobs is the hand-off channel the persistent workers receive on. Posting
+// is always non-blocking (a full channel just means fewer workers join and
+// the caller does more of the work itself), so a worker that submits a
+// nested fan-out can never deadlock the pool.
+var jobs = make(chan *job, 1024)
+
+// arenaPool is a GC-stable free list. sync.Pool would fit, but its contents
+// are dropped at every garbage collection, and the refill allocations scale
+// with how many jobs run concurrently — i.e. with the pool size, which is
+// exactly the dependence the allocs-vs-pool benchmarks forbid. A mutexed
+// slice keeps its arenas across GCs; the cap bounds retention, and the
+// retained objects are a few words each (their payload slices are cleared
+// before Put).
+type arenaPool struct {
+	mu   sync.Mutex
+	free []any
+}
+
+// arenaPoolCap bounds each type's free list; deeper nesting than this just
+// allocates a fresh arena.
+const arenaPoolCap = 64
+
+// Get pops a free arena, or returns nil when the caller should allocate.
+func (p *arenaPool) Get() any {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.free)
+	if n == 0 {
+		return nil
+	}
+	v := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	return v
+}
+
+// Put returns a quiescent arena to the free list.
+func (p *arenaPool) Put(v any) {
+	p.mu.Lock()
+	if len(p.free) < arenaPoolCap {
+		p.free = append(p.free, v)
+	}
+	p.mu.Unlock()
+}
+
+// jobPools maps a runner's concrete type to the free list its arenas are
+// recycled through. Generic instantiations cannot declare package-level
+// pools, so the generic mapJob[R] pools live here, keyed by type.
+var jobPools sync.Map // reflect.Type -> *arenaPool
+
+// poolFor returns the arena pool for the runner type of key (a nil typed
+// pointer, so the lookup itself never allocates).
+func poolFor(key any) *arenaPool {
+	t := reflect.TypeOf(key)
+	if p, ok := jobPools.Load(t); ok {
+		return p.(*arenaPool)
+	}
+	p, _ := jobPools.LoadOrStore(t, &arenaPool{})
+	return p.(*arenaPool)
+}
+
+// spawned counts the persistent workers started so far. Workers are spawned
+// lazily up to the pool size in effect at submission time and then parked
+// on the jobs channel forever: fan-out cost no longer includes per-call
+// goroutine creation, which is what made allocs/op grow with the pool size.
+var (
+	spawned atomic.Int64
+	spawnMu sync.Mutex
+)
+
+// maxWorkers bounds the persistent worker count however large SetPoolSize
+// arguments get.
+const maxWorkers = 512
+
+// ensureWorkers makes sure at least w persistent workers exist.
+func ensureWorkers(w int) {
+	if w > maxWorkers {
+		w = maxWorkers
+	}
+	if int(spawned.Load()) >= w {
+		return
+	}
+	spawnMu.Lock()
+	defer spawnMu.Unlock()
+	for int(spawned.Load()) < w {
+		spawned.Add(1)
+		go func() {
+			for j := range jobs {
+				j.run()
+				j.exited.Add(1)
+			}
+		}()
+	}
+}
+
+// dispatch runs a prepared job of n items at parallelism w: up to w-1
+// persistent workers are invited (non-blocking), the caller participates,
+// and the call returns once every item has completed AND the job is
+// quiescent — every posted invite consumed (drained by the caller or taken
+// by a worker) and every worker that took one fully exited. Quiescence on
+// return is what lets callers unconditionally recycle the arena, keeping
+// fan-out allocations exactly independent of the pool size. The wait is
+// bounded: the job is already drained when it starts, so a worker that
+// holds an invite runs zero items and exits immediately; an invite still in
+// the channel is received by the drain loop itself. The caller's
+// participation plus the never-blocking post remain the no-deadlock
+// guarantee for nested fan-outs.
+func (j *job) dispatch(n, w int) {
+	j.n = int64(n)
+	j.next.Store(0)
+	j.exited.Store(0)
+	j.wg.Add(n)
+	ensureWorkers(w - 1)
+	posted := 0
+post:
+	for k := 0; k < w-1; k++ {
+		select {
+		case jobs <- j:
+			posted++
+		default:
+			break post
+		}
+	}
+	j.run()
+	j.wg.Wait()
+	// Quiesce. A foreign invite that surfaces while draining is re-posted;
+	// if the channel is full we stand in for the worker it would have
+	// reached instead (run + exited), so no submitter ever loses an invite
+	// and spins forever waiting for it.
+	drained := 0
+	for j.exited.Load() != int64(posted-drained) {
+		select {
+		case j2 := <-jobs:
+			if j2 == j {
+				drained++
+				continue
+			}
+			select {
+			case jobs <- j2:
+			default:
+				j2.run()
+				j2.exited.Add(1)
+			}
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// mapJob is the pooled arena for one MapIndex fan-out.
+type mapJob[R any] struct {
+	out []R
+	fn  func(i int) R
+	j   job
+}
+
+func (m *mapJob[R]) item(i int) { m.out[i] = m.fn(i) }
 
 // MapIndex computes fn(0..n-1) across the pool and returns the results in
 // index order. fn must be safe for concurrent invocation; each index is
@@ -63,22 +256,16 @@ func MapIndex[R any](n int, fn func(i int) R) []R {
 		}
 		return out
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for k := 0; k < w; k++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i] = fn(i)
-			}
-		}()
+	p := poolFor((*mapJob[R])(nil))
+	m, _ := p.Get().(*mapJob[R])
+	if m == nil {
+		m = &mapJob[R]{}
+		m.j.r = m
 	}
-	wg.Wait()
+	m.out, m.fn = out, fn
+	m.j.dispatch(n, w)
+	m.out, m.fn = nil, nil
+	p.Put(m)
 	return out
 }
 
@@ -147,19 +334,34 @@ func ChunkIndex(n int, fn func(lo, hi int)) {
 		return
 	}
 	chunk := (n + w - 1) / w
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+	nc := (n + chunk - 1) / chunk
+	c, _ := chunkPool.Get().(*chunkJob)
+	if c == nil {
+		c = &chunkJob{}
+		c.j.r = c
 	}
-	wg.Wait()
+	c.n, c.chunk, c.fn = n, chunk, fn
+	c.j.dispatch(nc, w)
+	c.fn = nil
+	chunkPool.Put(c)
+}
+
+// chunkJob is the pooled arena for one ChunkIndex fan-out.
+type chunkJob struct {
+	n, chunk int
+	fn       func(lo, hi int)
+	j        job
+}
+
+var chunkPool arenaPool
+
+func (c *chunkJob) item(ci int) {
+	lo := ci * c.chunk
+	hi := lo + c.chunk
+	if hi > c.n {
+		hi = c.n
+	}
+	c.fn(lo, hi)
 }
 
 // Do runs the thunks concurrently (bounded by the pool) and returns when all

@@ -1,0 +1,129 @@
+package roofline
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dronedse/control"
+	"dronedse/estimation"
+	"dronedse/platform"
+	"dronedse/slam"
+)
+
+func TestPointAI(t *testing.T) {
+	if ai := (Point{Ops: 100, Bytes: 50}).AI(); ai != 2 {
+		t.Fatalf("AI = %v, want 2", ai)
+	}
+	if ai := (Point{Ops: 7, Bytes: 0}).AI(); !math.IsInf(ai, 1) {
+		t.Fatalf("zero-byte AI = %v, want +Inf", ai)
+	}
+}
+
+func TestScaleBytesRoundsHalfUp(t *testing.T) {
+	if got := scaleBytes(3, 0.5); got != 2 {
+		t.Fatalf("scaleBytes(3, 0.5) = %d, want 2", got)
+	}
+	if got := scaleBytes(10, 2.5); got != 25 {
+		t.Fatalf("scaleBytes(10, 2.5) = %d, want 25", got)
+	}
+}
+
+func TestStreamEfficiencyBounded(t *testing.T) {
+	eff := StreamEfficiency()
+	if !(eff > 0 && eff < 1) {
+		t.Fatalf("StreamEfficiency = %v, want strictly inside (0, 1): a unit-stride"+
+			" stream uses whole lines but the strided mix must waste some", eff)
+	}
+	if again := StreamEfficiency(); again != eff {
+		t.Fatalf("StreamEfficiency not deterministic: %v then %v", eff, again)
+	}
+}
+
+func TestFromSLAMKernelSet(t *testing.T) {
+	st := slam.Stats{FeatureExtractionOps: 1000, MatchingOps: 2000, LocalBAOps: 3000,
+		GlobalBAOps: 4000, PoseGraphOps: 500, Frames: 10}
+	pts := FromSLAM(st, 640, 480)
+	want := map[string]uint64{"detect": 1000, "match": 2000, "local_ba": 3000,
+		"global_ba": 4000, "pose_graph": 500}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d", len(pts), len(want))
+	}
+	for _, p := range pts {
+		if p.Ops != want[p.Name] {
+			t.Errorf("%s ops = %d, want %d", p.Name, p.Ops, want[p.Name])
+		}
+		if p.Scalar {
+			t.Errorf("%s marked scalar; SLAM kernels ride the accelerator", p.Name)
+		}
+	}
+	// Detect traffic is the frame stream, not an op ratio.
+	if pts[0].Bytes != 10*640*480*detectPassesPerFrame {
+		t.Errorf("detect bytes = %d, want frame-geometry model %d",
+			pts[0].Bytes, 10*640*480*detectPassesPerFrame)
+	}
+}
+
+func TestFromFlightScalar(t *testing.T) {
+	ekf := estimation.EKFStats{PredictOps: 100, UpdateOps: 200}
+	ctrl := control.CtrlStats{PositionOps: 10, AttitudeOps: 20, RateOps: 30}
+	for _, p := range FromFlight(ekf, ctrl) {
+		if !p.Scalar {
+			t.Errorf("%s not marked scalar; EKF/control stay on the autopilot host", p.Name)
+		}
+	}
+}
+
+func TestPlaceBinding(t *testing.T) {
+	c := Ceiling{
+		Platform:  "toy",
+		Compute:   map[platform.Kernel]float64{platform.Matching: 1000},
+		ScalarOps: 500,
+		MemBytesS: 100,
+	}
+	pls := Place([]Point{
+		// AI 50: memory roof 5000 > compute roof 1000 → compute bound.
+		{Name: "hot", Ops: 100, Bytes: 2, Bucket: platform.Matching},
+		// AI 0.5: memory roof 50 < compute roof 1000 → memory bound.
+		{Name: "cold", Ops: 100, Bytes: 200, Bucket: platform.Matching},
+		// Scalar kernel ignores the bucket table.
+		{Name: "ekf", Ops: 100, Bytes: 1, Scalar: true},
+	}, c)
+	if pls[0].MemoryBound || pls[0].Attainable != 1000 {
+		t.Errorf("hot: bound=%v attainable=%v, want compute-bound at 1000",
+			pls[0].MemoryBound, pls[0].Attainable)
+	}
+	if !pls[1].MemoryBound || pls[1].Attainable != 50 {
+		t.Errorf("cold: bound=%v attainable=%v, want memory-bound at 50",
+			pls[1].MemoryBound, pls[1].Attainable)
+	}
+	if math.Abs(pls[1].RoofFrac-0.05) > 1e-12 {
+		t.Errorf("cold RoofFrac = %v, want 0.05", pls[1].RoofFrac)
+	}
+	if pls[2].ComputeRoof != 500 {
+		t.Errorf("ekf roof = %v, want the 500 scalar ceiling", pls[2].ComputeRoof)
+	}
+}
+
+func TestBuildReportCoversTable5(t *testing.T) {
+	pts := FromSLAM(slam.Stats{FeatureExtractionOps: 10, MatchingOps: 10,
+		LocalBAOps: 10, GlobalBAOps: 10, PoseGraphOps: 10, Frames: 1}, 64, 48)
+	rep := BuildReport(pts)
+	if len(rep.Ceilings) != len(platform.All()) {
+		t.Fatalf("%d ceilings, want one per Table 5 platform (%d)",
+			len(rep.Ceilings), len(platform.All()))
+	}
+	tab := rep.Table()
+	for _, p := range platform.All() {
+		if !strings.Contains(tab, "["+p.Name+"]") {
+			t.Errorf("table missing platform block %q", p.Name)
+		}
+	}
+	fig := rep.Figure(0, 60, 12)
+	if lines := strings.Count(fig, "\n"); lines != 13 {
+		t.Errorf("figure has %d lines, want 13 (title + 12 rows)", lines)
+	}
+	if !strings.Contains(fig, "/") || !strings.Contains(fig, "-") {
+		t.Error("figure missing the bandwidth slant or the compute roof")
+	}
+}

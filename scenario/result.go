@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"dronedse/autopilot"
+	"dronedse/control"
 	"dronedse/core"
+	"dronedse/estimation"
 	"dronedse/mathx"
 	"dronedse/trace"
 )
@@ -39,6 +41,12 @@ type Result struct {
 	// an offload session).
 	Fallbacks  int
 	Recoveries int
+
+	// EKFStats / CtrlStats are the flight's estimation and control work
+	// ledgers (deterministic functions of the step/sensor schedule), the
+	// inputs the roofline model places against platform ceilings.
+	EKFStats  estimation.EKFStats
+	CtrlStats control.CtrlStats
 
 	// Log is the DataFlash-style flight log; Trace the oscilloscope
 	// power recording.

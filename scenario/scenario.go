@@ -571,6 +571,8 @@ func (st *Stack) finish() {
 		ComputeWh:   st.computeWh,
 		Log:         st.Log,
 		Trace:       st.Trace,
+		EKFStats:    ap.Estimator().Pos.Stats,
+		CtrlStats:   ap.Cascade().Stats,
 	}
 	if st.Session != nil {
 		res.Fallbacks = st.Session.Fallbacks

@@ -35,9 +35,12 @@ type MapPoint struct {
 const jointBAEquivalence = 12
 
 // obsRef is one keyframe observation of a map point: the observing keyframe
-// (whose pose is read live during BA) plus the fixed 2-D measurement.
+// (whose pose is read live during BA), its index into the bundleAdjust
+// window (for the per-iteration rotation cache), plus the fixed 2-D
+// measurement.
 type obsRef struct {
 	kf   *KeyFrame
+	kfi  int32
 	u, v float64
 }
 
@@ -50,6 +53,9 @@ type kfProblem struct {
 	mps    []*MapPoint
 	pts    []mathx.Vec3
 	us, vs []float64
+	// ps is this problem's pose-solver working set: motion steps for
+	// different keyframes run concurrently, so each needs its own.
+	ps poseScratch
 }
 
 // ptProblem is the structure-step work unit for one map point.
@@ -63,7 +69,14 @@ type ptProblem struct {
 type baScratch struct {
 	kfProbs []kfProblem
 	ptProbs []ptProblem
-	ptIdx   map[int]int // point ID -> index into ptProbs
+	// ptIdx maps point ID -> index into ptProbs (-1: unseen), dense over
+	// the landmark table like every other per-ID structure in the package.
+	ptIdx []int32
+	// kfRt caches each window keyframe's inverse-rotation matrix for the
+	// structure step, refreshed after every motion step: within one
+	// structure step the poses are fixed, so computing R^T once per
+	// keyframe instead of once per observation is bit-identical.
+	kfRt []mathx.Mat3
 }
 
 // bundleAdjust performs block-coordinate bundle adjustment over the given
@@ -88,10 +101,11 @@ func (s *System) bundleAdjust(kfs []*KeyFrame, iters int, opsCounter *uint64) {
 		return
 	}
 	sc := &s.baScratch
-	if sc.ptIdx == nil {
-		sc.ptIdx = make(map[int]int, 1024)
+	ptIdx := grow(sc.ptIdx, len(s.points))
+	for i := range ptIdx {
+		ptIdx[i] = -1
 	}
-	clear(sc.ptIdx)
+	sc.ptIdx = ptIdx
 	kfProbs := sc.kfProbs[:0]
 	ptProbs := sc.ptProbs[:0]
 	// extendKf/extendPt reuse a truncated slot's inner buffers when the
@@ -113,10 +127,10 @@ func (s *System) bundleAdjust(kfs []*KeyFrame, iters int, opsCounter *uint64) {
 		}
 		return &ptProbs[len(ptProbs)-1]
 	}
-	for _, kf := range kfs {
+	for ki, kf := range kfs {
 		var p *kfProblem
 		for _, ob := range kf.Obs {
-			mp, ok := s.points[ob.PointID]
+			mp, ok := s.point(ob.PointID)
 			if !ok {
 				continue
 			}
@@ -129,15 +143,15 @@ func (s *System) bundleAdjust(kfs []*KeyFrame, iters int, opsCounter *uint64) {
 			p.mps = append(p.mps, mp)
 			p.us = append(p.us, ob.U)
 			p.vs = append(p.vs, ob.V)
-			pi, seen := sc.ptIdx[ob.PointID]
-			if !seen {
-				pi = len(ptProbs)
-				sc.ptIdx[ob.PointID] = pi
+			pi := ptIdx[ob.PointID]
+			if pi < 0 {
+				pi = int32(len(ptProbs))
+				ptIdx[ob.PointID] = pi
 				q := extendPt()
 				q.mp = mp
 				q.obs = q.obs[:0]
 			}
-			ptProbs[pi].obs = append(ptProbs[pi].obs, obsRef{kf, ob.U, ob.V})
+			ptProbs[pi].obs = append(ptProbs[pi].obs, obsRef{kf, int32(ki), ob.U, ob.V})
 		}
 		if p != nil && len(p.mps) < 6 {
 			kfProbs = kfProbs[:len(kfProbs)-1] // too few points to refine
@@ -157,6 +171,9 @@ func (s *System) bundleAdjust(kfs []*KeyFrame, iters int, opsCounter *uint64) {
 	ptProbs = ptProbs[:n]
 	sc.kfProbs, sc.ptProbs = kfProbs[:0], ptProbs[:0]
 
+	sc.kfRt = grow(sc.kfRt, len(kfs))
+	kfRt := sc.kfRt
+
 	var raw uint64
 	for it := 0; it < iters; it++ {
 		// Motion step: refine each keyframe pose against its points.
@@ -166,16 +183,22 @@ func (s *System) bundleAdjust(kfs []*KeyFrame, iters int, opsCounter *uint64) {
 				p.pts[k] = mp.Pos
 			}
 			var tmp Stats
-			p.kf.Pose = OptimizePose(s.Cam, p.kf.Pose, p.pts, p.us, p.vs, 2, &tmp)
+			p.kf.Pose = optimizePose(s.Cam, p.kf.Pose, p.pts, p.us, p.vs, 2, &tmp, &p.ps)
 			return tmp.MatchingOps + tmp.LocalBAOps
 		})
 		for _, ops := range kfOps {
 			raw += ops
 		}
 
+		// Poses are now fixed until the next motion step: cache each
+		// keyframe's R^T once for every structure-step observation.
+		for ki, kf := range kfs {
+			kfRt[ki] = kf.Pose.Att.Conj().Mat()
+		}
+
 		// Structure step: refine each point seen from >= 2 keyframes.
 		ptOps := parallelx.MapIndex(len(ptProbs), func(i int) uint64 {
-			pos, ops := refinePoint(s, ptProbs[i].mp.Pos, ptProbs[i].obs)
+			pos, ops := refinePoint(s, ptProbs[i].mp.Pos, ptProbs[i].obs, kfRt)
 			ptProbs[i].mp.Pos = pos
 			return ops
 		})
@@ -189,7 +212,7 @@ func (s *System) bundleAdjust(kfs []*KeyFrame, iters int, opsCounter *uint64) {
 // refinePoint runs one Gauss-Newton step on a point position from its
 // observations (3x3 normal equations), returning the refined position and
 // the raw op count.
-func refinePoint(s *System, pos mathx.Vec3, obs []obsRef) (mathx.Vec3, uint64) {
+func refinePoint(s *System, pos mathx.Vec3, obs []obsRef, kfRt []mathx.Mat3) (mathx.Vec3, uint64) {
 	var h mathx.Mat3
 	var g mathx.Vec3
 	used := 0
@@ -208,8 +231,8 @@ func refinePoint(s *System, pos mathx.Vec3, obs []obsRef) (mathx.Vec3, uint64) {
 			{s.Cam.Fx * invZ, 0, -s.Cam.Fx * pc.X * invZ * invZ},
 			{0, s.Cam.Fy * invZ, -s.Cam.Fy * pc.Y * invZ * invZ},
 		}
-		// d(pc)/d(pw) = R^T
-		rt := ob.kf.Pose.Att.Conj().Mat()
+		// d(pc)/d(pw) = R^T, cached per keyframe for this structure step.
+		rt := &kfRt[ob.kfi]
 		var j [2][3]float64
 		for r := 0; r < 2; r++ {
 			for c := 0; c < 3; c++ {

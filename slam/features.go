@@ -228,43 +228,60 @@ func (d *Detector) detectBand(im Image, y0, y1 int, out []Keypoint) []Keypoint {
 	for k, o := range fastOffsets {
 		off[k] = o[1]*im.W + o[0]
 	}
+	pix := im.Pix
+	w := im.W
+	// t2 sizes the branchless "strictly inside (loT, hiT)" range check:
+	// p is inside iff uint(p-loT-1) < uint(2*thr-1).
+	t2 := uint(2*thr - 1)
 	for y := y0; y < y1; y++ {
-		row := y * im.W
-		for x := 3; x < im.W-3; x++ {
-			at := row + x
-			c := int(im.Pix[at])
+		row := y * w
+		// Row slices for the compass points: indexing them with x (proved
+		// in range by the loop bounds) drops the per-load bounds checks
+		// that dominate the flat-offset form.
+		rC := pix[row : row+w]
+		rT := pix[row-3*w : row-3*w+w]
+		rB := pix[row+3*w : row+3*w+w]
+		for x := 3; x < w-3; x++ {
+			c := int(rC[x])
 			hiT, loT := c+thr, c-thr
-			// Fast reject: a 9-run of the 16-circle must cover at least 2
-			// of the 4 compass points, so fewer than 2 strong compass
-			// differences (on both sides) cannot be a FAST-9 corner.
-			hi, lo := 0, 0
-			for _, k := range [4]int{0, 4, 8, 12} {
-				p := int(im.Pix[at+off[k]])
-				if p >= hiT {
-					hi++
-				} else if p <= loT {
-					lo++
-				}
+			// Fast reject, stage 1: a 9-run of the 16-circle spans half the
+			// circle, so it covers at least one of any opposite compass
+			// pair; if neither point 0 nor point 8 differs strongly the
+			// pixel cannot be a FAST-9 corner. Two loads reject most of the
+			// image before the four-point test below.
+			p0 := int(rT[x])
+			p8 := int(rB[x])
+			if uint(p0-loT-1) < t2 && uint(p8-loT-1) < t2 {
+				continue
 			}
+			// Stage 2: a 9-run must cover at least 2 of the 4 compass
+			// points, so fewer than 2 strong compass differences (on both
+			// sides) cannot be a FAST-9 corner. Counted branchlessly: a
+			// point cannot be both bright and dark, so the independent
+			// sums match the if/else-if chain.
+			p4 := int(rC[x+3])
+			p12 := int(rC[x-3])
+			hi := b2i(p0 >= hiT) + b2i(p4 >= hiT) + b2i(p8 >= hiT) + b2i(p12 >= hiT)
+			lo := b2i(p0 <= loT) + b2i(p4 <= loT) + b2i(p8 <= loT) + b2i(p12 <= loT)
 			if hi < 2 && lo < 2 {
 				continue
 			}
-			// Full segment test over brighter/darker circle masks.
+			// Full segment test over brighter/darker circle masks, built
+			// branchlessly (candidate pixels are textured, so the per-point
+			// outcomes are close to random and mispredict as branches).
+			at := row + x
 			var bright, dark uint32
 			for k := 0; k < 16; k++ {
-				p := int(im.Pix[at+off[k]])
-				if p >= hiT {
-					bright |= 1 << k
-				} else if p <= loT {
-					dark |= 1 << k
-				}
+				p := int(pix[at+off[k]])
+				bright |= uint32(b2u(p >= hiT)) << uint(k)
+				dark |= uint32(b2u(p <= loT)) << uint(k)
 			}
 			if !hasRun9(bright) && !hasRun9(dark) {
 				continue
 			}
 			resp := 0
 			for k := 0; k < 16; k++ {
-				p := int(im.Pix[at+off[k]])
+				p := int(pix[at+off[k]])
 				if p-c > resp {
 					resp = p - c
 				} else if c-p > resp {
@@ -324,12 +341,36 @@ func (d *Detector) describeKp(im Image, kp Keypoint) Descriptor {
 	var desc Descriptor
 	at := y*im.W + x
 	off := &d.scratch.briefOff
-	for i := range off {
-		if im.Pix[at+int(off[i][0])] > im.Pix[at+int(off[i][1])] {
-			desc[i/64] |= 1 << (i % 64)
+	pix := im.Pix
+	for w := range desc {
+		// Accumulate each 64-bit word branchlessly in a register: the
+		// comparison compiles to a flag-set instruction instead of a
+		// ~50%-mispredicted branch per bit.
+		var bits uint64
+		o := off[w*64 : w*64+64]
+		for k := range o {
+			bits |= b2u(pix[at+int(o[k][0])] > pix[at+int(o[k][1])]) << uint(k)
 		}
+		desc[w] = bits
 	}
 	return desc
+}
+
+// b2u converts a bool to 0/1 without a branch (the compiler lowers this
+// pattern to a conditional-set instruction).
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// b2i is b2u for int accumulators.
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // describe computes the BRIEF-style descriptor at a keypoint with border

@@ -236,9 +236,9 @@ func TestFuseByProjectionWindowAndBest(t *testing.T) {
 		worldAt(s.Cam, 101, 100, 2), // A: 1 px from kp 0
 		worldAt(s.Cam, 103, 100, 3), // B: 3 px from kp 0
 	}
-	matched := map[int]int{}
+	matched := []int{-1, -1}
 	s.fuseByProjection(kps, ids, descs, pts, matched)
-	if want := map[int]int{0: 11}; !reflect.DeepEqual(matched, want) {
+	if want := []int{11, -1}; !reflect.DeepEqual(matched, want) {
 		t.Fatalf("fused = %v, want %v (4 px window, best descriptor)", matched, want)
 	}
 }
@@ -257,9 +257,9 @@ func TestFuseByProjectionExclusivity(t *testing.T) {
 		worldAt(s.Cam, 101, 100, 2),
 		worldAt(s.Cam, 102, 101, 2),
 	}
-	matched := map[int]int{0: 20}
+	matched := []int{20, -1}
 	s.fuseByProjection(kps, ids, descs, pts, matched)
-	if want := map[int]int{0: 20, 1: 21}; !reflect.DeepEqual(matched, want) {
+	if want := []int{20, 21}; !reflect.DeepEqual(matched, want) {
 		t.Fatalf("fused = %v, want %v (already-matched points excluded)", matched, want)
 	}
 }
@@ -279,14 +279,23 @@ func TestFuseByProjectionShuffleInvariant(t *testing.T) {
 		descs = append(descs, descBits(i%30))
 		pts = append(pts, worldAt(s.Cam, u, v, 1+r.Float64()*4))
 	}
-	run := func(ids []int, descs []Descriptor, pts []mathx.Vec3) map[int]int {
-		matched := map[int]int{}
+	run := func(ids []int, descs []Descriptor, pts []mathx.Vec3) []int {
+		matched := make([]int, len(kps))
+		for i := range matched {
+			matched[i] = -1
+		}
 		s.fuseByProjection(kps, ids, descs, pts, matched)
 		return matched
 	}
 	base := run(ids, descs, pts)
-	if len(base) != 18 {
-		t.Fatalf("baseline fused %d of 18", len(base))
+	fused := 0
+	for _, pid := range base {
+		if pid >= 0 {
+			fused++
+		}
+	}
+	if fused != 18 {
+		t.Fatalf("baseline fused %d of 18", fused)
 	}
 	for trial := 0; trial < 5; trial++ {
 		perm := r.Perm(len(ids))

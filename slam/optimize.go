@@ -40,6 +40,11 @@ type Stats struct {
 	MatchingOps          uint64
 	LocalBAOps           uint64
 	GlobalBAOps          uint64
+	// PoseGraphOps is the loop-closure pose-graph solve, ledgered apart
+	// from global BA so the roofline dashboard can place it as its own
+	// kernel; the platform retiming folds it into the GlobalBA bucket
+	// (Figure 17 groups them).
+	PoseGraphOps uint64
 
 	Frames         int
 	Keyframes      int
@@ -49,7 +54,7 @@ type Stats struct {
 
 // TotalOps sums all kernels.
 func (s Stats) TotalOps() uint64 {
-	return s.FeatureExtractionOps + s.MatchingOps + s.LocalBAOps + s.GlobalBAOps
+	return s.FeatureExtractionOps + s.MatchingOps + s.LocalBAOps + s.GlobalBAOps + s.PoseGraphOps
 }
 
 // FrontEndOps groups feature extraction + matching (Figure 17's "Feature
@@ -88,20 +93,57 @@ func reprojErr(cam dataset.Camera, pose Pose, pw mathx.Vec3, u, v float64) (ru, 
 	return pu - u, pv - v, true
 }
 
+// poseScratch is the fixed-size working set of optimizePose: the 6x6 normal
+// matrix, its Cholesky factor, and the solve vectors, carved from one arena
+// so a persistent owner (tracking scratch, a BA motion-step problem) pays
+// its three allocations once and every subsequent call allocates nothing.
+// Not safe for concurrent use; each concurrent caller owns its own.
+type poseScratch struct {
+	h, l          mathx.Dense
+	neg, dx, yTmp []float64
+}
+
+// init lazily carves the arena; a zero poseScratch is ready after one call.
+func (ps *poseScratch) init() {
+	if ps.neg != nil {
+		return
+	}
+	buf := make([]float64, 2*36+3*6)
+	ps.h = mathx.DenseOn(buf[0:36], 6, 6)
+	ps.l = mathx.DenseOn(buf[36:72], 6, 6)
+	ps.neg, ps.dx, ps.yTmp = buf[72:78], buf[78:84], buf[84:90]
+}
+
 // OptimizePose refines a camera pose from 3-D map points and their 2-D
 // measurements by Gauss-Newton on the reprojection error over the 6-DOF
 // twist (translation + small rotation). It is the tracking back end; its
 // arithmetic is accounted to stats.MatchingOps (front-end tracking).
 func OptimizePose(cam dataset.Camera, init Pose, pts []mathx.Vec3, us, vs []float64, iters int, stats *Stats) Pose {
+	var ps poseScratch
+	return optimizePose(cam, init, pts, us, vs, iters, stats, &ps)
+}
+
+// optimizePose is OptimizePose over caller-owned scratch — the alloc-free
+// path the tracking loop and BA motion step use. The arithmetic (including
+// accumulation order) is bit-identical to the original Dense-backed loop:
+// the rotation matrix and point skew are hoisted because they are constant
+// within an iteration/observation, and CholeskyInto/SolveWithCholesky are
+// the bit-exact in-place siblings of SolveCholesky.
+func optimizePose(cam dataset.Camera, init Pose, pts []mathx.Vec3, us, vs []float64, iters int, stats *Stats, ps *poseScratch) Pose {
 	pose := init
 	n := len(pts)
 	if n < 4 {
 		return pose
 	}
+	ps.init()
 	for it := 0; it < iters; it++ {
-		// Normal equations over the 6-vector [dt; dtheta].
-		h := mathx.NewDense(6, 6)
-		g := make([]float64, 6)
+		// Normal equations over the 6-vector [dt; dtheta], accumulated on
+		// the stack.
+		var hm [6][6]float64
+		var g [6]float64
+		// d(pc)/d(dt) = -R^T: the pose — hence R^T — is fixed for the whole
+		// iteration, so compute it once, not per observation.
+		rt := pose.Att.Conj().Mat()
 		used := 0
 		for i := 0; i < n; i++ {
 			pc := pose.WorldToCamera(pts[i])
@@ -121,9 +163,9 @@ func OptimizePose(cam dataset.Camera, init Pose, pts []mathx.Vec3, us, vs []floa
 				{cam.Fx * invZ, 0, -cam.Fx * pc.X * invZ * invZ},
 				{0, cam.Fy * invZ, -cam.Fy * pc.Y * invZ * invZ},
 			}
-			// d(pc)/d(dt) = -R^T ; d(pc)/d(dtheta) = [pc]_x (for the
-			// perturbation pc' = R^T(exp(-[dtheta])...)). Compose rows.
-			rt := pose.Att.Conj().Mat()
+			// d(pc)/d(dtheta) = [pc]_x (for the perturbation
+			// pc' = R^T(exp(-[dtheta])...)). Compose rows.
+			sk := mathx.Skew(pc)
 			var j [2][6]float64
 			for r := 0; r < 2; r++ {
 				for cIdx := 0; cIdx < 3; cIdx++ {
@@ -131,7 +173,6 @@ func OptimizePose(cam dataset.Camera, init Pose, pts []mathx.Vec3, us, vs []floa
 					j[r][cIdx] = -(jx[r][0]*rt[0][cIdx] + jx[r][1]*rt[1][cIdx] + jx[r][2]*rt[2][cIdx])
 				}
 				// rotation block: J * [pc]_x
-				sk := mathx.Skew(pc)
 				for cIdx := 0; cIdx < 3; cIdx++ {
 					j[r][3+cIdx] = jx[r][0]*sk[0][cIdx] + jx[r][1]*sk[1][cIdx] + jx[r][2]*sk[2][cIdx]
 				}
@@ -139,7 +180,7 @@ func OptimizePose(cam dataset.Camera, init Pose, pts []mathx.Vec3, us, vs []floa
 			for a := 0; a < 6; a++ {
 				g[a] += w * (j[0][a]*ru + j[1][a]*rv)
 				for b := 0; b < 6; b++ {
-					h.Addf(a, b, w*(j[0][a]*j[0][b]+j[1][a]*j[1][b]))
+					hm[a][b] += w * (j[0][a]*j[0][b] + j[1][a]*j[1][b])
 				}
 			}
 			used++
@@ -149,16 +190,19 @@ func OptimizePose(cam dataset.Camera, init Pose, pts []mathx.Vec3, us, vs []floa
 		}
 		// Levenberg damping keeps distant initializations stable.
 		for a := 0; a < 6; a++ {
-			h.Addf(a, a, 1e-3*h.At(a, a)+1e-9)
+			hm[a][a] += 1e-3*hm[a][a] + 1e-9
 		}
-		neg := make([]float64, 6)
-		for a := range g {
-			neg[a] = -g[a]
+		for a := 0; a < 6; a++ {
+			for b := 0; b < 6; b++ {
+				ps.h.Set(a, b, hm[a][b])
+			}
+			ps.neg[a] = -g[a]
 		}
-		dx, ok := h.SolveCholesky(neg)
-		if !ok {
+		if !ps.h.CholeskyInto(&ps.l) {
 			break
 		}
+		mathx.SolveWithCholesky(&ps.l, ps.neg, ps.dx, ps.yTmp)
+		dx := ps.dx
 		pose.Pos = pose.Pos.Add(mathx.V3(dx[0], dx[1], dx[2]))
 		dq := mathx.V3(dx[3], dx[4], dx[5])
 		pose.Att = pose.Att.Mul(mathx.QuatFromAxisAngle(dq.Normalized(), dq.Norm())).Normalized()

@@ -38,6 +38,11 @@ func runSeqOutputs(t *testing.T, seq *dataset.Sequence) (Result, []Pose, int) {
 // per-keypoint description, and both BA steps — must therefore be exactly
 // order-independent.
 func TestRunSequencePoolInvariant(t *testing.T) {
+	// Force the software-pipelined path at pool > 1 even on single-P
+	// machines, so the prefetch/tracking overlap is what the bit-identity
+	// (and -race) assertions actually exercise.
+	forcePipeline = true
+	defer func() { forcePipeline = false }()
 	specs := []dataset.Spec{
 		dataset.EuRoCSpecs()[0],
 		{Name: "ORBIT", Difficulty: dataset.Easy, Frames: 185, FPS: 20,

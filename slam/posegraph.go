@@ -85,32 +85,53 @@ func OptimizePoseGraph(positions []mathx.Vec3, edges []GraphEdge, fixed int) []m
 }
 
 // loopEdge re-registers the newest keyframe against the map points the
-// revisited keyframe observes (the shared landmarks the fusion step
-// re-associated), producing the independent relative-position measurement
-// the pose graph needs. ok is false with too few shared observations.
+// revisited keyframe observes, producing the independent relative-position
+// measurement the pose graph needs. The revisit usually re-triangulated
+// fresh map points rather than re-observing the old IDs, so the landmarks
+// are re-associated by appearance: a brute-force descriptor match between
+// the two keyframes' map points (charged to MatchingOps like all descriptor
+// search), then a pose optimization of the current keyframe against the old
+// keyframe's 3-D points. ok is false with too few associations. Runs on the
+// System's goroutine over map state only, so it is deterministic at any
+// pool size.
 func (s *System) loopEdge(old, cur *KeyFrame) (rel mathx.Vec3, ok bool) {
-	oldSees := make(map[int]bool, len(old.Obs))
+	// The revisited keyframe's surviving map points, deduplicated.
+	seen := make([]bool, len(s.points))
+	var oldPts []*MapPoint
+	var oldDescs []Descriptor
 	for _, ob := range old.Obs {
-		oldSees[ob.PointID] = true
+		if seen[ob.PointID] {
+			continue
+		}
+		seen[ob.PointID] = true
+		if mp, exists := s.point(ob.PointID); exists {
+			oldPts = append(oldPts, mp)
+			oldDescs = append(oldDescs, mp.Desc)
+		}
 	}
+	// The current keyframe's measurements, carrying their map points'
+	// descriptors as the match queries.
+	var queries []Keypoint
+	var qu, qv []float64
+	for _, ob := range cur.Obs {
+		if mp, exists := s.point(ob.PointID); exists {
+			queries = append(queries, Keypoint{Desc: mp.Desc})
+			qu = append(qu, ob.U)
+			qv = append(qv, ob.V)
+		}
+	}
+	pairs := Match(queries, oldDescs, 50, &s.Stats)
 	var pts []mathx.Vec3
 	var us, vs []float64
-	for _, ob := range cur.Obs {
-		if !oldSees[ob.PointID] {
-			continue
-		}
-		mp, exists := s.points[ob.PointID]
-		if !exists {
-			continue
-		}
-		pts = append(pts, mp.Pos)
-		us = append(us, ob.U)
-		vs = append(vs, ob.V)
+	for _, pr := range pairs {
+		pts = append(pts, oldPts[pr[1]].Pos)
+		us = append(us, qu[pr[0]])
+		vs = append(vs, qv[pr[0]])
 	}
 	if len(pts) < 12 {
 		return mathx.Vec3{}, false
 	}
-	reg := OptimizePose(s.Cam, cur.Pose, pts, us, vs, 6, &s.Stats)
+	reg := optimizePose(s.Cam, cur.Pose, pts, us, vs, 6, &s.Stats, &s.scratch.ps)
 	return reg.Pos.Sub(old.Pose.Pos), true
 }
 
@@ -147,5 +168,5 @@ func (s *System) closeLoop(oldIdx int) {
 	}
 	s.pose.Pos = s.pose.Pos.Add(corrected[n-1].Sub(positions[n-1]))
 	// ~30 ops per edge per axis solve, plus the n^3/3 Cholesky.
-	s.Stats.GlobalBAOps += uint64(len(edges))*90 + uint64(n*n*n)
+	s.Stats.PoseGraphOps += uint64(len(edges))*90 + uint64(n*n*n)
 }

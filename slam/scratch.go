@@ -12,11 +12,19 @@ import "dronedse/mathx"
 // The scratch is owned by exactly one goroutine (the System's caller), so
 // reuse does not affect the pool-size invariance of the pipeline output.
 type frameScratch struct {
-	// Local-map gather buffers (localMap).
-	lmSeen  map[int]bool
+	// Local-map gather buffers (localMap). lmSeen is dense over point IDs —
+	// the package avoids maps on hot paths entirely, because map growth
+	// allocates a run-dependent number of overflow buckets (per-map hash
+	// seed), which would jitter the allocs/op ledger.
+	lmSeen  []bool
 	lmIDs   []int
 	lmDescs []Descriptor
 	lmPts   []mathx.Vec3
+
+	// Keyframe-creation buffers: matchedByKp[i] is the map-point ID tracked
+	// by keypoint i (-1: none); taken is dense over point IDs.
+	matchedByKp []int
+	taken       []bool
 
 	// Keypoint cell grid in CSR layout (matchByProjection): cellStart has
 	// one entry per cell plus a terminator; cellKp holds keypoint indices
@@ -38,6 +46,10 @@ type frameScratch struct {
 
 	// Projection candidates (fuseByProjection).
 	projs []projCand
+
+	// Pose-solver working set shared by the tracking passes and the loop
+	// registration (all run on the System's goroutine).
+	ps poseScratch
 }
 
 // projCand is a local map point projected into the current frame.

@@ -2,11 +2,20 @@ package slam
 
 import (
 	"math"
-	"sort"
+	"runtime"
 
 	"dronedse/dataset"
 	"dronedse/mathx"
+	"dronedse/parallelx"
 )
+
+// forcePipeline makes RunSequence take the software-pipelined path even on
+// a single-P runtime, where it is normally skipped: with GOMAXPROCS=1 the
+// prefetch goroutine cannot overlap tracking, so the hand-off is pure
+// overhead (~8% slower, plus a few dozen scheduler allocations that would
+// make allocs grow with the pool size). The pool-invariance and race tests
+// set it so the pipelined path stays covered on any machine.
+var forcePipeline = false
 
 // System is the full SLAM pipeline: tracking (feature extraction, matching,
 // pose optimization), local mapping (keyframe creation, local BA), and loop
@@ -36,8 +45,13 @@ type System struct {
 	sinceKF     int
 	lastLoopKF  int
 	keyframes   []*KeyFrame
-	points      map[int]*MapPoint
-	nextPointID int
+	// points is the landmark table, indexed by point ID. IDs are assigned
+	// densely and landmarks are never deleted, so a slice replaces the old
+	// map: lookups become bounds checks and — unlike a map, whose per-run
+	// hash seed makes overflow-bucket allocation nondeterministic — its
+	// growth allocates identically on every run, keeping the allocs/op
+	// column of BENCH_core.json bit-stable.
+	points []*MapPoint
 
 	// traj records the estimated pose per processed frame.
 	traj []Pose
@@ -58,7 +72,6 @@ func NewSystem(cam dataset.Camera) *System {
 		LocalBAIters:      6,
 		GlobalBAIters:     4,
 		GlobalBAEveryKF:   8,
-		points:            map[int]*MapPoint{},
 		lastLoopKF:        -1000,
 	}
 	s.det = NewDetector(&s.Stats)
@@ -76,20 +89,22 @@ func (s *System) Keyframes() int { return len(s.keyframes) }
 func (s *System) MapPoints() int { return len(s.points) }
 
 // MapPointPositions returns the positions of all map points — the landmark
-// cloud downstream consumers (occupancy mapping, planning) build on.
+// cloud downstream consumers (occupancy mapping, planning) build on. The
+// table is stored in ID order, so the cloud is reproducible by construction.
 func (s *System) MapPointPositions() []mathx.Vec3 {
-	// Sorted by landmark ID so the cloud is reproducible across runs (map
-	// iteration order is randomized).
-	ids := make([]int, 0, len(s.points))
-	for id := range s.points {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	out := make([]mathx.Vec3, 0, len(ids))
-	for _, id := range ids {
-		out = append(out, s.points[id].Pos)
+	out := make([]mathx.Vec3, 0, len(s.points))
+	for _, mp := range s.points {
+		out = append(out, mp.Pos)
 	}
 	return out
+}
+
+// point looks up a landmark by ID: a bounds check over the dense table.
+func (s *System) point(id int) (*MapPoint, bool) {
+	if id < 0 || id >= len(s.points) {
+		return nil, false
+	}
+	return s.points[id], true
 }
 
 // Trajectory returns the per-frame pose estimates.
@@ -99,10 +114,11 @@ func (s *System) Trajectory() []Pose { return s.traj }
 // returned slices are scratch-backed and valid until the next frame.
 func (s *System) localMap() (ids []int, descs []Descriptor, pts []mathx.Vec3) {
 	sc := &s.scratch
-	if sc.lmSeen == nil {
-		sc.lmSeen = make(map[int]bool, 1024)
+	seen := grow(sc.lmSeen, len(s.points))
+	for i := range seen {
+		seen[i] = false
 	}
-	clear(sc.lmSeen)
+	sc.lmSeen = seen
 	ids, descs, pts = sc.lmIDs[:0], sc.lmDescs[:0], sc.lmPts[:0]
 	lo := len(s.keyframes) - s.LocalWindow
 	if lo < 0 {
@@ -110,11 +126,11 @@ func (s *System) localMap() (ids []int, descs []Descriptor, pts []mathx.Vec3) {
 	}
 	for _, kf := range s.keyframes[lo:] {
 		for _, ob := range kf.Obs {
-			if sc.lmSeen[ob.PointID] {
+			if seen[ob.PointID] {
 				continue
 			}
-			sc.lmSeen[ob.PointID] = true
-			mp, ok := s.points[ob.PointID]
+			seen[ob.PointID] = true
+			mp, ok := s.point(ob.PointID)
 			if !ok {
 				continue
 			}
@@ -131,6 +147,19 @@ func (s *System) localMap() (ids []int, descs []Descriptor, pts []mathx.Vec3) {
 func (s *System) ProcessFrame(f dataset.Frame) Pose {
 	im := Image{W: s.Cam.Width, H: s.Cam.Height, Pix: f.Image}
 	kps := s.det.Detect(im)
+	return s.ProcessFrameDetected(kps, f)
+}
+
+// ProcessFrameDetected tracks one camera frame whose keypoints were already
+// detected and described — the back half of ProcessFrame. It is the
+// hand-off point of the software-pipelined driver (see RunSequence): a
+// prefetch stage may run detection for frame N+1 on another goroutine while
+// this call performs tracking and bundle adjustment for frame N. The split
+// is deterministic because detection depends only on the frame pixels —
+// never on tracking state — so detecting ahead produces bit-identical
+// keypoints, and the tracking state is touched only by this (the owner's)
+// goroutine.
+func (s *System) ProcessFrameDetected(kps []Keypoint, f dataset.Frame) Pose {
 	s.Stats.Frames++
 
 	if !s.initialized {
@@ -166,7 +195,7 @@ func (s *System) ProcessFrame(f dataset.Frame) Pose {
 	if len(mpts) >= 6 {
 		// Two-pass robust tracking: optimize, reject gross outliers,
 		// re-optimize on the inlier set (ORB-SLAM's tracking scheme).
-		s.pose = OptimizePose(s.Cam, s.pose, mpts, us, vs, 5, &s.Stats)
+		s.pose = optimizePose(s.Cam, s.pose, mpts, us, vs, 5, &s.Stats, &sc.ps)
 		ipts := grow(sc.ipts, len(mpts))[:0]
 		ius, ivs := grow(sc.ius, len(mpts))[:0], grow(sc.ivs, len(mpts))[:0]
 		for i := range mpts {
@@ -180,13 +209,19 @@ func (s *System) ProcessFrame(f dataset.Frame) Pose {
 		}
 		sc.ipts, sc.ius, sc.ivs = ipts, ius, ivs
 		if len(ipts) >= 6 {
-			s.pose = OptimizePose(s.Cam, s.pose, ipts, ius, ivs, 5, &s.Stats)
+			s.pose = optimizePose(s.Cam, s.pose, ipts, ius, ivs, 5, &s.Stats, &sc.ps)
 		}
 	}
 
 	s.sinceKF++
 	if s.sinceKF >= s.KeyframeEvery || len(matches) < s.MinTrackedMatches {
-		matchedByKp := make(map[int]int, len(matches))
+		// matchedByKp[i] is the map-point ID keypoint i tracks (-1: none) —
+		// a dense scratch array, not a per-keyframe map.
+		matchedByKp := grow(sc.matchedByKp, len(kps))
+		for i := range matchedByKp {
+			matchedByKp[i] = -1
+		}
+		sc.matchedByKp = matchedByKp
 		for i, m := range matches {
 			if inlier[i] {
 				matchedByKp[m[0]] = ids[m[1]]
@@ -309,10 +344,24 @@ func (s *System) matchByProjection(kps []Keypoint, descs []Descriptor, pts []mat
 // points by projecting the points under the tracked pose and accepting
 // nearby, descriptor-compatible pairs — ORB-SLAM's search-by-projection map
 // fusion, which prevents duplicate landmarks from flooding the map.
-func (s *System) fuseByProjection(kps []Keypoint, ids []int, descs []Descriptor, pts []mathx.Vec3, matchedByKp map[int]int) {
-	taken := make(map[int]bool, len(matchedByKp))
+func (s *System) fuseByProjection(kps []Keypoint, ids []int, descs []Descriptor, pts []mathx.Vec3, matchedByKp []int) {
+	// taken is dense over point IDs; size to the local map's IDs too so the
+	// kernel works on any caller-supplied ID set, not just s.points.
+	n := len(s.points)
+	for _, id := range ids {
+		if id >= n {
+			n = id + 1
+		}
+	}
+	taken := grow(s.scratch.taken, n)
+	for i := range taken {
+		taken[i] = false
+	}
+	s.scratch.taken = taken
 	for _, pid := range matchedByKp {
-		taken[pid] = true
+		if pid >= 0 {
+			taken[pid] = true
+		}
 	}
 	projs := s.scratch.projs[:0]
 	for j, pw := range pts {
@@ -328,7 +377,7 @@ func (s *System) fuseByProjection(kps []Keypoint, ids []int, descs []Descriptor,
 	}
 	s.scratch.projs = projs
 	for i, kp := range kps {
-		if _, ok := matchedByKp[i]; ok {
+		if matchedByKp[i] >= 0 {
 			continue
 		}
 		bestD, bestJ := 61, -1
@@ -352,12 +401,13 @@ func (s *System) fuseByProjection(kps []Keypoint, ids []int, descs []Descriptor,
 // createKeyframe adds the current frame as a keyframe: matched keypoints
 // become observations of their map points; unmatched keypoints with stereo
 // depth spawn new map points.
-func (s *System) createKeyframe(kps []Keypoint, f dataset.Frame, matched map[int]int) {
+func (s *System) createKeyframe(kps []Keypoint, f dataset.Frame, matched []int) {
 	kf := &KeyFrame{ID: len(s.keyframes), Pose: s.pose}
 	for i, kp := range kps {
-		if pid, ok := matched[i]; ok {
+		if i < len(matched) && matched[i] >= 0 {
+			pid := matched[i]
 			kf.Obs = append(kf.Obs, Observation{PointID: pid, U: kp.X, V: kp.Y})
-			if mp, ok := s.points[pid]; ok {
+			if mp, ok := s.point(pid); ok {
 				mp.Seen++
 			}
 			continue
@@ -370,9 +420,8 @@ func (s *System) createKeyframe(kps []Keypoint, f dataset.Frame, matched map[int
 		}
 		pc := mathx.V3((kp.X-s.Cam.Cx)/s.Cam.Fx*z, (kp.Y-s.Cam.Cy)/s.Cam.Fy*z, z)
 		pw := s.pose.CameraToWorld(pc)
-		id := s.nextPointID
-		s.nextPointID++
-		s.points[id] = &MapPoint{ID: id, Pos: pw, Desc: kp.Desc, Seen: 1}
+		id := len(s.points)
+		s.points = append(s.points, &MapPoint{ID: id, Pos: pw, Desc: kp.Desc, Seen: 1})
 		kf.Obs = append(kf.Obs, Observation{PointID: id, U: kp.X, V: kp.Y})
 	}
 	s.keyframes = append(s.keyframes, kf)
@@ -425,10 +474,49 @@ func RunSequence(seq *dataset.Sequence) Result {
 	s := NewSystem(seq.Cam)
 	type pair struct{ est, truth mathx.Vec3 }
 	pairs := make([]pair, 0, seq.Len())
-	for i := 0; i < seq.Len(); i++ {
-		f := seq.Frame(i)
-		est := s.ProcessFrame(f)
-		pairs = append(pairs, pair{est.Pos, f.TruePos})
+	if parallelx.PoolSize() > 1 && (runtime.GOMAXPROCS(0) > 1 || forcePipeline) {
+		// Software-pipelined: a prefetch stage detects/describes frame N+1
+		// while tracking and bundle adjustment run on frame N. Hand-off is
+		// a 1-slot channel, so the stages stay at most one frame apart and
+		// frames are consumed strictly in order — the tracked output is the
+		// serial path's, bit for bit (TestRunSequencePoolInvariant). The
+		// GOMAXPROCS gate above skips this path on a single-P runtime,
+		// where no overlap is possible and the hand-off is pure overhead.
+		//
+		// The prefetch stage reuses the System's detector — safe because
+		// tracking never detects on this path (ProcessFrameDetected) and
+		// Detect hands each caller a fresh keypoint slice, and free of the
+		// second scratch arena a private detector would grow (the alloc
+		// count must not rise with the pool size). It shares the Stats
+		// ledger as its only writer of FeatureExtractionOps (tracking
+		// writes the other fields), uint64 accumulation is exact and
+		// order-free, and each channel send publishes the charge before
+		// the frame is tracked, so the ledger is race-free and identical
+		// to serial accounting.
+		type detected struct {
+			kps []Keypoint
+			f   dataset.Frame
+		}
+		ch := make(chan detected, 1)
+		go func() {
+			det := s.det
+			for i := 0; i < seq.Len(); i++ {
+				f := seq.Frame(i)
+				kps := det.Detect(Image{W: s.Cam.Width, H: s.Cam.Height, Pix: f.Image})
+				ch <- detected{kps, f}
+			}
+			close(ch)
+		}()
+		for d := range ch {
+			est := s.ProcessFrameDetected(d.kps, d.f)
+			pairs = append(pairs, pair{est.Pos, d.f.TruePos})
+		}
+	} else {
+		for i := 0; i < seq.Len(); i++ {
+			f := seq.Frame(i)
+			est := s.ProcessFrame(f)
+			pairs = append(pairs, pair{est.Pos, f.TruePos})
+		}
 	}
 	s.Finish()
 
