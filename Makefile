@@ -12,13 +12,14 @@
 #   ci-bench   the benchmark smokes (core, SLAM, fault, batch, roofline)
 #              plus the BENCH_core.json ns/op regression guard
 #   ci-smoke   the end-to-end command smokes, including the fleetd pipeline
+#              and the crash/recovery chaos harness (scripts/fleet_chaos.sh)
 #   vuln       govulncheck, when installed (CI installs it; locally it is
 #              skipped with a notice rather than failed)
 
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet test race fmt-check vuln bench-smoke bench-slam bench-fault bench-batch bench-json bench-roofline bench-guard smoke-cmds ci-quick ci-bench ci-smoke ci
+.PHONY: all build vet vet-failpoint test test-failpoint race fmt-check vuln bench-smoke bench-slam bench-fault bench-batch bench-json bench-roofline bench-guard smoke-cmds ci-quick ci-bench ci-smoke ci
 
 all: build
 
@@ -27,6 +28,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# The failpoint build tag swaps in the chaos-injection crash hooks; both
+# halves of the tagged pair must stay vet-clean or the chaos harness rots.
+vet-failpoint:
+	$(GO) vet -tags failpoint ./...
 
 # Fail on any file gofmt would rewrite, listing the offenders.
 fmt-check:
@@ -114,11 +120,16 @@ smoke-cmds:
 	$(GO) run ./examples/fleet_batch >/dev/null
 	$(GO) run ./examples/slam_offload >/dev/null
 	sh scripts/fleet_smoke.sh
+	sh scripts/fleet_chaos.sh
 
-ci-quick: fmt-check vet build test
+# The crash-window property tests that need the failpoint hooks compiled in.
+test-failpoint:
+	$(GO) test -tags failpoint -run 'TestCrash' ./fleet/
+
+ci-quick: fmt-check vet vet-failpoint build test
 
 ci-bench: bench-smoke bench-slam bench-fault bench-batch bench-roofline bench-guard
 
-ci-smoke: smoke-cmds
+ci-smoke: test-failpoint smoke-cmds
 
-ci: fmt-check vet build race ci-bench ci-smoke
+ci: fmt-check vet vet-failpoint build race ci-bench ci-smoke

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	fleetctl [-addr URL] [-telem HOST:PORT] <command> [flags]
+//	fleetctl [-addr URL] [-telem HOST:PORT] [-retries N] [-wait-ready D] <command> [flags]
 //
 //	submit    -n 64 -seconds 2 -hover -seed 1 -vary 8   # generate and submit jobs
 //	submit    -f jobs.json                              # or submit a JSON job list
@@ -14,7 +14,14 @@
 //	                                                    # against a local replay
 //	stream    -id 3                                     # stream a job's telemetry
 //	stream    -id 3 -stall                              # subscribe and never read
+//	digests                                             # "id spec-digests" per line,
+//	                                                    # diffable across restarts
 //	stats | jobs | shutdown
+//
+// -retries spends a jittered-exponential-backoff budget on transient
+// failures (connection refused, 429 queue-full, 503 draining); -wait-ready
+// polls /readyz before running the command — together they let scripts
+// race fleetctl against a fleetd that is still starting or recovering.
 //
 // `wait -verify` fails if any job failed or if two jobs sharing a JobSpec
 // report different digests — the multi-tenancy determinism contract,
@@ -30,6 +37,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,11 +51,17 @@ import (
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8480", "fleetd job API root")
 	telem := flag.String("telem", "127.0.0.1:8481", "fleetd telemetry address")
+	retries := flag.Int("retries", 0, "retry budget for transient failures (jittered exponential backoff)")
+	waitReady := flag.Duration("wait-ready", 0, "poll /readyz this long before the command (0 = don't)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fatal("usage: fleetctl [-addr URL] [-telem HOST:PORT] submit|wait|run|stream|stats|jobs|shutdown [flags]")
+		fatal("usage: fleetctl [-addr URL] [-telem HOST:PORT] submit|wait|run|stream|digests|stats|jobs|shutdown [flags]")
 	}
 	c := fleet.NewClient(*addr)
+	c.Retry = fleet.RetryPolicy{Max: *retries}
+	if *waitReady > 0 {
+		check(c.WaitReady(*waitReady))
+	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
 	switch cmd {
@@ -58,6 +73,8 @@ func main() {
 		cmdRun(c, *telem, args)
 	case "stream":
 		cmdStream(*telem, args)
+	case "digests":
+		cmdDigests(c)
 	case "stats":
 		st, err := c.Stats()
 		check(err)
@@ -253,6 +270,25 @@ func cmdStream(telem string, args []string) {
 	fmt.Printf("fleetctl: job %d: %d frames, %d heartbeats\n", *id, frames, heartbeats)
 	if heartbeats < *minHB {
 		fatal("job %d: %d heartbeats, need %d", *id, heartbeats, *minHB)
+	}
+}
+
+// cmdDigests prints one "id trajectory flight-log ledger" line per job in
+// ID order — a format made for diffing a post-crash recovery against an
+// uninterrupted baseline run of the same job sequence.
+func cmdDigests(c *fleet.Client) {
+	jobs, err := c.Jobs()
+	check(err)
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+	for _, j := range jobs {
+		switch {
+		case j.Digests != nil:
+			fmt.Printf("%d %s %s %s\n", j.ID, j.Digests.Trajectory, j.Digests.FlightLog, j.Digests.Ledger)
+		case j.State == "failed":
+			fmt.Printf("%d failed %s\n", j.ID, strings.ReplaceAll(j.Error, " ", "_"))
+		default:
+			fmt.Printf("%d %s\n", j.ID, j.State)
+		}
 	}
 }
 

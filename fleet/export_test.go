@@ -1,0 +1,10 @@
+package fleet
+
+// Journal record kinds, exported so chaos tests can hand-craft wal files
+// (duplicate terminals, orphans) that the writer itself would never
+// produce.
+const (
+	WalSubmitKind = walSubmit
+	WalDoneKind   = walDone
+	WalCancelKind = walCancel
+)

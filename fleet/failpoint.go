@@ -1,0 +1,14 @@
+//go:build !failpoint
+
+package fleet
+
+// failpoint marks a crash-window boundary in the service's durability
+// protocol. In release builds it is an empty function the compiler inlines
+// away; `go build -tags failpoint` swaps in the chaos-injection version
+// (failpoint_on.go) that can crash the process or run a registered hook at
+// the named point. The named points, in protocol order:
+//
+//	fleet/submit-journaled   SUBMIT fsync'd, job not yet admitted
+//	fleet/harvested          lane evicted, terminal record not yet written
+//	fleet/done-journaled     DONE/CANCEL fsync'd, outcome not yet visible
+func failpoint(string) {}

@@ -1,0 +1,70 @@
+//go:build failpoint
+
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Chaos-injection failpoints, compiled in only under -tags failpoint. Two
+// trigger mechanisms:
+//
+//   - Environment (external harness): FLEET_FAILPOINT names a point and the
+//     process hard-exits (code 137, mimicking SIGKILL) the Nth time it is
+//     reached, N = FLEET_FAILPOINT_AFTER (default 1). scripts/fleet_chaos.sh
+//     uses this to kill fleetd inside specific durability windows.
+//   - Registered hooks (in-process tests): SetFailpoint installs a func at a
+//     named point; tests panic with a sentinel to simulate a crash without
+//     losing the test process.
+//
+// Hook registration wins over the environment trigger at the same point.
+
+var (
+	fpMu    sync.Mutex
+	fpHooks = map[string]func(){}
+
+	fpEnvName  = os.Getenv("FLEET_FAILPOINT")
+	fpEnvAfter = fpEnvAfterN()
+	fpEnvHits  atomic.Int64
+)
+
+func fpEnvAfterN() int64 {
+	n, err := strconv.ParseInt(os.Getenv("FLEET_FAILPOINT_AFTER"), 10, 64)
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+func failpoint(name string) {
+	fpMu.Lock()
+	h := fpHooks[name]
+	fpMu.Unlock()
+	if h != nil {
+		h()
+		return
+	}
+	if fpEnvName == name && fpEnvHits.Add(1) == fpEnvAfter {
+		fmt.Fprintf(os.Stderr, "failpoint: crashing at %s (hit %d)\n", name, fpEnvAfter)
+		os.Exit(137)
+	}
+}
+
+// SetFailpoint installs fn to run every time the named crash point is
+// reached. Test-only API.
+func SetFailpoint(name string, fn func()) {
+	fpMu.Lock()
+	fpHooks[name] = fn
+	fpMu.Unlock()
+}
+
+// ClearFailpoints removes every registered hook.
+func ClearFailpoints() {
+	fpMu.Lock()
+	fpHooks = map[string]func(){}
+	fpMu.Unlock()
+}

@@ -78,6 +78,13 @@ type JobSpec struct {
 	// TelemetryEverySteps is the physics-step cadence between published
 	// telemetry units (0 = the scenario default, 250 steps = 4 Hz).
 	TelemetryEverySteps int `json:"telemetry_every_steps,omitempty"`
+
+	// DeadlineS is a wall-clock budget in seconds for the job once it
+	// launches (0 = the server default). A job past its deadline is evicted
+	// mid-flight with ErrDeadline and journaled as CANCEL — a service
+	// policy, not part of the simulated physics, so deadline kills are the
+	// one deliberately nondeterministic outcome in the system.
+	DeadlineS float64 `json:"deadline_s,omitempty"`
 }
 
 // Scenario expands the wire form into the engine's Spec. The telemetry sink
@@ -175,6 +182,10 @@ type JobStatus struct {
 	FinalMode            string   `json:"final_mode,omitempty"`
 	Digests              *Digests `json:"digests,omitempty"`
 	Error                string   `json:"error,omitempty"`
+
+	// SimTimeS is the running job's current simulated time — live progress
+	// for in-flight jobs, zero once terminal (FlightTimeS takes over).
+	SimTimeS float64 `json:"sim_time_s,omitempty"`
 }
 
 // Stats is the server's aggregate counter snapshot.
@@ -187,6 +198,10 @@ type Stats struct {
 	Failed    int `json:"failed"`
 	Shards    int `json:"shards"`
 
+	// Draining reports a graceful shutdown in progress: submissions are
+	// refused while in-flight jobs finish.
+	Draining bool `json:"draining,omitempty"`
+
 	// Ticks counts engine advances; LaneSteps the total physics steps
 	// summed over every lane those advances moved.
 	Ticks     uint64 `json:"ticks"`
@@ -196,4 +211,7 @@ type Stats struct {
 	FramesPublished uint64 `json:"frames_published"`
 	FramesDropped   uint64 `json:"frames_dropped"`
 	Subscribers     int    `json:"subscribers"`
+	// TelemetryBacklog is the total queued-but-undelivered units across all
+	// subscribers right now.
+	TelemetryBacklog int `json:"telemetry_backlog,omitempty"`
 }

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -13,8 +14,16 @@ import (
 //	GET  /jobs                                  → {"jobs":[JobStatus, ...]}
 //	GET  /jobs/{id}                             → JobStatus
 //	GET  /stats                                 → Stats
+//	GET  /healthz                               → 200 while the process
+//	     serves HTTP at all (liveness)
+//	GET  /readyz                                → 200 when the instance
+//	     should receive traffic: accepting jobs, engine loop live, journal
+//	     writable; 503 + reason otherwise (readiness)
 //	POST /shutdown                              → {"ok":true}; the host
 //	     process observes ShutdownRequested and exits.
+//
+// Submission backpressure: a full admission queue is 429, a draining or
+// shut-down server is 503, both with a Retry-After hint.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 
@@ -31,7 +40,15 @@ func (s *Server) Handler() http.Handler {
 		}
 		ids, err := s.SubmitAll(specs)
 		if err != nil {
-			httpError(w, http.StatusServiceUnavailable, err.Error())
+			code := http.StatusServiceUnavailable
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				code = http.StatusTooManyRequests
+				w.Header().Set("Retry-After", "1")
+			case errors.Is(err, ErrDraining), errors.Is(err, ErrShutdown):
+				w.Header().Set("Retry-After", "5")
+			}
+			httpError(w, code, err.Error())
 			return
 		}
 		writeJSON(w, map[string][]uint64{"ids": ids})
@@ -57,6 +74,19 @@ func (s *Server) Handler() http.Handler {
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Ready(); err != nil {
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		writeJSON(w, map[string]bool{"ready": true})
 	})
 
 	mux.HandleFunc("POST /shutdown", func(w http.ResponseWriter, r *http.Request) {

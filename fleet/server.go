@@ -2,12 +2,32 @@ package fleet
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"dronedse/fleet/journal"
 	"dronedse/groundstation"
 	"dronedse/scenario"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes (429/503 with
+// Retry-After) and clients classify as transient.
+var (
+	// ErrShutdown: the server has shut down and accepts nothing.
+	ErrShutdown = errors.New("fleet: server shut down")
+	// ErrDraining: the server is draining; submissions are refused but
+	// in-flight jobs are finishing. Clients should retry against the
+	// replacement instance.
+	ErrDraining = errors.New("fleet: server draining")
+	// ErrQueueFull: the bounded admission queue is at capacity; retry after
+	// backoff instead of growing server memory without bound.
+	ErrQueueFull = errors.New("fleet: admission queue full")
+	// ErrDeadline: the job exceeded its wall-clock deadline and was evicted
+	// mid-flight (journaled as CANCEL, not re-admitted on restart).
+	ErrDeadline = errors.New("fleet: job deadline exceeded")
 )
 
 // Config sizes a Server. The zero value is a usable single-box default.
@@ -20,6 +40,10 @@ type Config struct {
 	// 1024). Jobs beyond the cap queue FIFO and are admitted as eviction
 	// frees slots.
 	MaxLanes int
+	// MaxQueue bounds the admission queue (jobs accepted but not yet
+	// launched; default 4096). Submissions beyond it fail with ErrQueueFull
+	// — HTTP 429 + Retry-After — instead of growing memory without bound.
+	MaxQueue int
 	// TickStride is how many physics steps each engine advance moves every
 	// live lane (default 250 — one 4 Hz telemetry unit per lane per
 	// advance at the default cadence).
@@ -27,6 +51,10 @@ type Config struct {
 	// SubQueue is the per-subscriber telemetry queue depth in units
 	// (default groundstation.DefaultSubQueue). Laggards shed oldest.
 	SubQueue int
+	// JobDeadline is the default wall-clock budget a job gets from launch
+	// (0 = unlimited). A job that blows it is evicted mid-flight with
+	// ErrDeadline. JobSpec.DeadlineS overrides it per job.
+	JobDeadline time.Duration
 	// DropArtifacts frees each finished job's log, trace and trajectory
 	// after digesting, keeping only the summary and digests — the 10k+
 	// lane benchmark configuration. Result-returning APIs then serve a
@@ -41,6 +69,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxLanes <= 0 {
 		c.MaxLanes = 1024
 	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4096
+	}
 	if c.TickStride <= 0 {
 		c.TickStride = 250
 	}
@@ -53,11 +84,17 @@ type job struct {
 	spec JobSpec
 	hub  *groundstation.Hub
 
+	// deadline is the wall-clock eviction point (zero = none). Written at
+	// launch and read at harvest, both on the engine goroutine.
+	deadline time.Time
+
 	// Mutable under Server.mu.
-	state JobState
-	res   *scenario.Result
-	err   error
-	dig   *Digests
+	state    JobState
+	res      *scenario.Result
+	err      error
+	dig      *Digests
+	sum      *JobSummary
+	simTimeS float64 // live progress, mirrored out of the engine each advance
 }
 
 // shard is one scenario.Batch plus the lane→job table. Owned exclusively by
@@ -72,14 +109,17 @@ type shard struct {
 // goroutines submit jobs, query status, and stream telemetry.
 type Server struct {
 	cfg Config
+	jl  *journal.Log // nil = no durability (in-memory only)
 
-	mu     sync.Mutex
-	jobs   map[uint64]*job
-	order  []uint64 // submission order, for listing
-	queue  []*job   // admission FIFO
-	nextID uint64
-	closed bool
-	conns  map[net.Conn]struct{} // live telemetry connections
+	mu       sync.Mutex
+	jobs     map[uint64]*job
+	order    []uint64 // submission order, for listing
+	queue    []*job   // admission FIFO
+	reserved int      // queue slots held by in-flight SubmitAll journal writes
+	nextID   uint64
+	closed   bool
+	draining bool
+	conns    map[net.Conn]struct{} // live telemetry connections
 
 	// Engine-owned (no mu): only the Advance caller touches the shards.
 	shards []*shard
@@ -92,8 +132,15 @@ type Server struct {
 	// out of the engine-owned shard tables so Stats never reads those.
 	completed, failed, peakLive, live int
 
+	// subWG tracks telemetry-serving goroutines so Shutdown can wait for
+	// subscribers to flush before force-closing their connections.
+	subWG sync.WaitGroup
+
 	wake        chan struct{}
 	quit        chan struct{}
+	engineDone  chan struct{}
+	runStarted  atomic.Bool
+	engineLive  atomic.Bool
 	reqShutdown chan struct{}
 	reqOnce     sync.Once
 }
@@ -108,6 +155,7 @@ func New(cfg Config) *Server {
 		conns:       make(map[net.Conn]struct{}),
 		wake:        make(chan struct{}, 1),
 		quit:        make(chan struct{}),
+		engineDone:  make(chan struct{}),
 		reqShutdown: make(chan struct{}),
 	}
 	for i := 0; i < cfg.Shards; i++ {
@@ -118,6 +166,50 @@ func New(cfg Config) *Server {
 	}
 	return s
 }
+
+// NewJournaled builds a server whose accepted jobs survive crashes: the
+// write-ahead log under dir is opened (created if absent), its torn tail
+// truncated, and its records replayed — terminal jobs come back with their
+// journaled digests and summaries; jobs without a terminal record are
+// re-admitted and re-flown, producing digests bit-identical to what an
+// uninterrupted run would have written (recovery is deterministic replay).
+// The returned Recovery reports what was found.
+func NewJournaled(cfg Config, dir string) (*Server, *Recovery, error) {
+	jl, rec, err := openJournal(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	s := New(cfg)
+	s.jl = jl
+	s.mu.Lock()
+	for _, rj := range rec.Jobs {
+		j := &job{id: rj.ID, spec: rj.Spec, hub: groundstation.NewHub()}
+		switch {
+		case !rj.Done:
+			j.state = JobQueued
+			s.queue = append(s.queue, j)
+		case rj.Err != "":
+			j.state, j.err, j.dig, j.sum = JobFailed, errors.New(rj.Err), rj.Digests, rj.Summary
+			s.failed++
+			j.hub.Close()
+		default:
+			j.state, j.dig, j.sum = JobDone, rj.Digests, rj.Summary
+			s.completed++
+			j.hub.Close()
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	if rec.maxID > s.nextID {
+		s.nextID = rec.maxID
+	}
+	s.mu.Unlock()
+	return s, rec, nil
+}
+
+// Journal returns the server's write-ahead log (nil when running without
+// durability).
+func (s *Server) Journal() *journal.Log { return s.jl }
 
 // Submit enqueues one job and returns its ID. The job's telemetry hub
 // exists from submission, so clients may subscribe before the flight
@@ -130,37 +222,86 @@ func (s *Server) Submit(spec JobSpec) (uint64, error) {
 	return ids[0], nil
 }
 
-// SubmitAll enqueues jobs in order and returns their IDs.
+// SubmitAll enqueues jobs in order and returns their IDs. With a journal,
+// every job is fsync'd durable BEFORE this returns: an acknowledged
+// submission survives SIGKILL from that moment on. Returns ErrQueueFull
+// when the bounded admission queue cannot take the batch, ErrDraining /
+// ErrShutdown when the server no longer accepts work.
 func (s *Server) SubmitAll(specs []JobSpec) ([]uint64, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, errors.New("fleet: server shut down")
+		return nil, ErrShutdown
 	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if depth := len(s.queue) + s.reserved; depth+len(specs) > s.cfg.MaxQueue {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d queued + %d submitted > %d",
+			ErrQueueFull, depth, len(specs), s.cfg.MaxQueue)
+	}
+	jobs := make([]*job, len(specs))
 	ids := make([]uint64, len(specs))
 	for i, spec := range specs {
 		s.nextID++
-		j := &job{id: s.nextID, spec: spec, hub: groundstation.NewHub()}
+		jobs[i] = &job{id: s.nextID, spec: spec, hub: groundstation.NewHub()}
+		ids[i] = s.nextID
+	}
+	s.reserved += len(specs)
+	s.mu.Unlock()
+
+	// Durability point: the SUBMIT records hit disk before the jobs become
+	// visible anywhere. A crash after this line loses nothing; a crash
+	// before it means the client never got its IDs back.
+	if s.jl != nil {
+		if err := appendSubmits(s.jl, jobs); err != nil {
+			s.mu.Lock()
+			s.reserved -= len(specs)
+			s.mu.Unlock()
+			return nil, fmt.Errorf("fleet: journal submit: %w", err)
+		}
+	}
+	failpoint("fleet/submit-journaled")
+
+	s.mu.Lock()
+	s.reserved -= len(specs)
+	if s.closed {
+		// Shut down between the journal fsync and admission: the jobs are
+		// durable and will be re-admitted on the next start, but this
+		// instance cannot run them.
+		s.mu.Unlock()
+		return nil, ErrShutdown
+	}
+	for _, j := range jobs {
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
 		s.queue = append(s.queue, j)
-		ids[i] = j.id
 	}
 	s.mu.Unlock()
+	s.wakeEngine()
+	return ids, nil
+}
+
+func (s *Server) wakeEngine() {
 	select {
 	case s.wake <- struct{}{}:
 	default:
 	}
-	return ids, nil
 }
 
 // admitLocked drains the queue into free lanes: build the stack, install
 // the telemetry hub as the Spec's sink, and admit onto the least-loaded
 // shard. A Build failure fails the job without consuming a lane. Called
 // only from the engine goroutine (holding mu), so the shard tables are
-// safe to touch.
+// safe to touch. During a drain (or after shutdown) nothing launches:
+// queued jobs stay journaled for the next start.
 func (s *Server) admitLocked() {
-	for len(s.queue) > 0 && s.live < s.cfg.MaxLanes {
+	for len(s.queue) > 0 && s.live < s.cfg.MaxLanes && !s.draining && !s.closed {
 		j := s.queue[0]
 		s.queue = s.queue[1:]
 		spec := j.spec.Scenario()
@@ -168,9 +309,7 @@ func (s *Server) admitLocked() {
 		spec.Telemetry.Send = func(raw []byte) { hub.Publish(raw) }
 		st, err := scenario.Build(spec)
 		if err != nil {
-			j.state, j.err = JobFailed, err
-			s.failed++
-			hub.Close()
+			s.failLocked(j, err)
 			continue
 		}
 		sh := s.shards[0]
@@ -182,10 +321,12 @@ func (s *Server) admitLocked() {
 		lane := sh.batch.Admit(st)
 		if sh.batch.LaneDone(lane) { // Start failed on a running batch
 			res, lerr := sh.batch.Evict(lane)
-			j.state, j.res, j.err = JobFailed, res, lerr
-			s.failed++
-			hub.Close()
+			_ = res
+			s.failLocked(j, lerr)
 			continue
+		}
+		if ddl := j.deadlineBudget(s.cfg.JobDeadline); ddl > 0 {
+			j.deadline = time.Now().Add(ddl)
 		}
 		sh.jobs[lane] = j
 		j.state = JobRunning
@@ -196,19 +337,66 @@ func (s *Server) admitLocked() {
 	}
 }
 
+// deadlineBudget resolves a job's wall-clock budget: per-spec override,
+// else the server default.
+func (j *job) deadlineBudget(def time.Duration) time.Duration {
+	if j.spec.DeadlineS > 0 {
+		return time.Duration(j.spec.DeadlineS * float64(time.Second))
+	}
+	return def
+}
+
+// failLocked records a job that never reached a lane (Build/Start failure)
+// as terminal, journaling the outcome so a restart does not retry a spec
+// that deterministically cannot fly.
+func (s *Server) failLocked(j *job, err error) {
+	if s.jl != nil {
+		// Rare path (malformed spec); the fsync under mu is acceptable.
+		appendDone(s.jl, j.id, nil, nil, err)
+	}
+	j.state, j.err = JobFailed, err
+	s.failed++
+	j.hub.Close()
+}
+
 // finalize records a lane's outcome on its job and closes the telemetry
-// stream (subscribers drain what is queued, then see EOF).
+// stream (subscribers drain what is queued, then see EOF). With a journal,
+// the terminal record is fsync'd before the outcome becomes visible: a
+// crash before the fsync re-runs the job on restart (deterministically
+// reproducing these digests); a crash after it recovers the digests
+// directly.
 func (s *Server) finalize(j *job, res *scenario.Result, err error) {
+	failpoint("fleet/harvested")
 	var dig *Digests
+	var sum *JobSummary
 	if err == nil && res != nil {
 		d := DigestResult(res)
 		dig = &d
+		sum = &JobSummary{
+			FlightTimeS:          res.FlightTimeS,
+			EnergyWh:             res.EnergyWh,
+			ComputeWh:            res.ComputeWh,
+			ComputeFlightCostMin: res.ComputeFlightCostMin(),
+			Completed:            res.Completed,
+			FinalMode:            res.FinalMode.String(),
+		}
 		if s.cfg.DropArtifacts {
 			res.Log, res.Trace, res.Trajectory = nil, nil, nil
 		}
 	}
+	if s.jl != nil {
+		// A journal write failure here does not block the in-memory outcome
+		// (clients are not left waiting on a dead disk); it surfaces through
+		// Ready() so the instance stops admitting new work.
+		if errors.Is(err, ErrDeadline) {
+			appendCancel(s.jl, j.id, err.Error())
+		} else {
+			appendDone(s.jl, j.id, dig, sum, err)
+		}
+	}
+	failpoint("fleet/done-journaled")
 	s.mu.Lock()
-	j.res, j.err, j.dig = res, err, dig
+	j.res, j.err, j.dig, j.sum = res, err, dig, sum
 	s.live--
 	if err != nil {
 		j.state = JobFailed
@@ -223,15 +411,17 @@ func (s *Server) finalize(j *job, res *scenario.Result, err error) {
 
 // Advance is the engine's unit of work: admit queued jobs into free lanes,
 // step every live lane by up to k physics steps, and harvest finished
-// lanes. It reports whether any jobs are live or queued afterwards. Run is
-// Advance in a loop; tests and benchmarks call it directly for lockstep
-// control. Only one goroutine may call Advance.
+// lanes (evicting any job past its wall-clock deadline). It reports whether
+// the engine still has runnable work. Run is Advance in a loop; tests and
+// benchmarks call it directly for lockstep control. Only one goroutine may
+// call Advance.
 func (s *Server) Advance(k int) bool {
 	s.mu.Lock()
 	s.admitLocked()
 	s.mu.Unlock()
 
 	busy := false
+	now := time.Now()
 	for _, sh := range s.shards {
 		if len(sh.jobs) == 0 {
 			continue
@@ -241,23 +431,43 @@ func (s *Server) Advance(k int) bool {
 		sh.batch.TickN(k)
 		for lane, j := range sh.jobs {
 			if !sh.batch.LaneDone(lane) {
-				continue
+				if j.deadline.IsZero() || now.Before(j.deadline) {
+					continue
+				}
+				sh.batch.Abort(lane, fmt.Errorf("%w (%.0fs wall-clock)",
+					ErrDeadline, now.Sub(j.deadline.Add(-j.deadlineBudget(s.cfg.JobDeadline))).Seconds()))
 			}
 			res, err := sh.batch.Evict(lane)
 			delete(sh.jobs, lane)
 			s.finalize(j, res, err)
 		}
+		if len(sh.jobs) > 0 { // mirror live progress into the status API
+			s.mu.Lock()
+			for lane, j := range sh.jobs {
+				j.simTimeS = sh.batch.LaneSimTimeS(lane)
+			}
+			s.mu.Unlock()
+		}
 	}
 	s.ticks.Add(1)
 
 	s.mu.Lock()
-	queued := len(s.queue)
+	runnable := len(s.queue) > 0 && !s.draining && !s.closed
 	s.mu.Unlock()
-	return busy || queued > 0
+	return busy || runnable
 }
 
 // Run drives the engine until Shutdown, sleeping while there is no work.
+// It may be called once.
 func (s *Server) Run() {
+	if !s.runStarted.CompareAndSwap(false, true) {
+		return
+	}
+	s.engineLive.Store(true)
+	defer func() {
+		s.engineLive.Store(false)
+		close(s.engineDone)
+	}()
 	for {
 		select {
 		case <-s.quit:
@@ -274,9 +484,87 @@ func (s *Server) Run() {
 	}
 }
 
-// Shutdown stops the engine loop, ends every telemetry stream, and closes
-// live subscriber connections. Queued jobs stay queued; running lanes stop
-// where they are. Idempotent.
+// DrainReport summarizes a graceful drain.
+type DrainReport struct {
+	// Completed/Failed are the totals at exit.
+	Completed, Failed int
+	// Requeued jobs were accepted but never launched; with a journal they
+	// are durable and the next start re-admits them.
+	Requeued int
+	// Abandoned lanes were still flying when the grace period expired;
+	// journaled jobs re-run from scratch on the next start (bit-identical
+	// digests), un-journaled ones are lost.
+	Abandoned int
+	// Journaled reports whether Requeued/Abandoned jobs survive the exit.
+	Journaled bool
+}
+
+// Clean reports whether every launched job finished within the grace
+// period.
+func (r DrainReport) Clean() bool { return r.Abandoned == 0 }
+
+// Lost reports how many accepted jobs this exit abandons forever (always 0
+// with a journal).
+func (r DrainReport) Lost() int {
+	if r.Journaled {
+		return 0
+	}
+	return r.Requeued + r.Abandoned
+}
+
+// Drain is the graceful SIGTERM path: stop accepting and launching jobs,
+// let in-flight lanes finish (bounded by grace, default 30s), then shut
+// down. Queued and unfinished jobs stay durably journaled for the next
+// start; with no journal they are reported in the DrainReport as lost.
+// The engine (Run) must be live for lanes to finish.
+func (s *Server) Drain(grace time.Duration) DrainReport {
+	if grace <= 0 {
+		grace = 30 * time.Second
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.draining = true
+	}
+	s.mu.Unlock()
+	s.wakeEngine()
+
+	deadline := time.Now().Add(grace)
+	for {
+		s.mu.Lock()
+		live := s.live
+		s.mu.Unlock()
+		if live == 0 || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	s.mu.Lock()
+	rep := DrainReport{
+		Completed: s.completed,
+		Failed:    s.failed,
+		Requeued:  len(s.queue),
+		Abandoned: s.live,
+		Journaled: s.jl != nil,
+	}
+	s.mu.Unlock()
+	s.Shutdown()
+	return rep
+}
+
+// subscriberFlushGrace bounds how long Shutdown waits for telemetry
+// subscribers to drain their queued units before force-closing their
+// connections. A reading subscriber flushes in milliseconds; a stalled one
+// is cut at the deadline.
+const subscriberFlushGrace = 2 * time.Second
+
+// Shutdown stops the service in EOF-clean order: stop admissions, stop the
+// engine loop and wait for it to fully drain (no goroutine is mid-Publish
+// afterwards), then close every job's telemetry hub so subscribers drain
+// their queues to a clean, frame-aligned EOF, and only then — after a
+// bounded flush grace — force-close whatever connections remain (stalled
+// subscribers). Queued jobs stay queued; running lanes stop where they are
+// (journaled jobs replay on the next start). Idempotent.
 func (s *Server) Shutdown() {
 	s.mu.Lock()
 	if s.closed {
@@ -284,24 +572,68 @@ func (s *Server) Shutdown() {
 		return
 	}
 	s.closed = true
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
+	s.mu.Unlock()
+
+	close(s.quit)
+	s.wakeEngine()
+	if s.runStarted.Load() {
+		<-s.engineDone // engine goroutine fully drained: publishing has ended
 	}
+
+	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.jobs))
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
-
-	close(s.quit)
 	for _, j := range jobs {
-		j.hub.Close()
+		j.hub.Close() // subscribers drain queued units, then see EOF
 	}
+
+	flushed := make(chan struct{})
+	go func() { s.subWG.Wait(); close(flushed) }()
+	select {
+	case <-flushed:
+	case <-time.After(subscriberFlushGrace):
+	}
+
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
 	for _, c := range conns {
 		c.Close()
 	}
+	if s.jl != nil {
+		s.jl.Close()
+	}
 	s.requestShutdown()
+}
+
+// Ready returns nil when the instance should receive traffic: accepting
+// work (not shut down or draining), engine loop live, and the journal (if
+// any) still writable. The /readyz endpoint serves it.
+func (s *Server) Ready() error {
+	s.mu.Lock()
+	closed, draining := s.closed, s.draining
+	s.mu.Unlock()
+	if closed {
+		return ErrShutdown
+	}
+	if draining {
+		return ErrDraining
+	}
+	if !s.engineLive.Load() {
+		return errors.New("fleet: engine loop not running")
+	}
+	if s.jl != nil {
+		if err := s.jl.Healthy(); err != nil {
+			return fmt.Errorf("fleet: journal unwritable: %w", err)
+		}
+	}
+	return nil
 }
 
 // ShutdownRequested is closed when a client posts /shutdown (or Shutdown
@@ -310,19 +642,31 @@ func (s *Server) ShutdownRequested() <-chan struct{} { return s.reqShutdown }
 
 func (s *Server) requestShutdown() { s.reqOnce.Do(func() { close(s.reqShutdown) }) }
 
-// statusLocked renders a job's API view.
+// statusLocked renders a job's API view. Terminal jobs recovered from the
+// journal have no Result; their summary comes from the DONE record.
 func (s *Server) statusLocked(j *job) JobStatus {
 	st := JobStatus{ID: j.id, State: j.state.String(), Spec: j.spec}
 	if j.err != nil {
 		st.Error = j.err.Error()
 	}
-	if j.res != nil {
+	switch {
+	case j.res != nil:
 		st.FlightTimeS = j.res.FlightTimeS
 		st.EnergyWh = j.res.EnergyWh
 		st.ComputeWh = j.res.ComputeWh
 		st.ComputeFlightCostMin = j.res.ComputeFlightCostMin()
 		st.Completed = j.res.Completed
 		st.FinalMode = j.res.FinalMode.String()
+	case j.sum != nil:
+		st.FlightTimeS = j.sum.FlightTimeS
+		st.EnergyWh = j.sum.EnergyWh
+		st.ComputeWh = j.sum.ComputeWh
+		st.ComputeFlightCostMin = j.sum.ComputeFlightCostMin
+		st.Completed = j.sum.Completed
+		st.FinalMode = j.sum.FinalMode
+	}
+	if j.state == JobRunning {
+		st.SimTimeS = j.simTimeS
 	}
 	st.Digests = j.dig
 	return st
@@ -352,7 +696,9 @@ func (s *Server) Jobs() []JobStatus {
 
 // Result returns a finished job's structured outcome — the same Result a
 // direct scenario.Run would have produced (summary-only when the server
-// runs with DropArtifacts).
+// runs with DropArtifacts; nil for a completed job recovered from the
+// journal, whose digests and summary survive but whose artifacts were never
+// rebuilt).
 func (s *Server) Result(id uint64) (*scenario.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -378,6 +724,7 @@ func (s *Server) Stats() Stats {
 		Completed: s.completed,
 		Failed:    s.failed,
 		Shards:    len(s.shards),
+		Draining:  s.draining,
 		Ticks:     s.ticks.Load(),
 		LaneSteps: s.laneSteps.Load(),
 	}
@@ -386,6 +733,7 @@ func (s *Server) Stats() Stats {
 		st.FramesPublished += pub
 		st.FramesDropped += drop
 		st.Subscribers += subs
+		st.TelemetryBacklog += j.hub.Backlog()
 	}
 	return st
 }

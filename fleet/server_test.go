@@ -307,3 +307,67 @@ func TestBuildFailureFailsJobOnly(t *testing.T) {
 		}
 	}
 }
+
+// TestShutdownWithActiveSubscriberCleanEOF is the shutdown-ordering
+// regression test: Shutdown must stop the engine and wait for it to drain
+// BEFORE closing telemetry hubs, so an actively-reading subscriber caught
+// mid-flight drains to a clean, frame-aligned EOF having received every
+// unit the engine ever published — nothing torn, nothing shed, nothing
+// published into a closed hub.
+func TestShutdownWithActiveSubscriberCleanEOF(t *testing.T) {
+	srv := fleet.New(fleet.Config{Shards: 1, MaxLanes: 2, SubQueue: 8192, TickStride: 250})
+	telemAddr := startTelemetry(t, srv)
+
+	// A flight long enough to still be airborne at shutdown, publishing at
+	// a brisk cadence.
+	id, err := srv.Submit(fleet.JobSpec{Seed: 11, Hover: true, MaxSeconds: 1200, TelemetryEverySteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := fleet.DialStream(telemAddr, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(conn) // reads until the server ends the stream
+		streamed <- data
+	}()
+
+	go srv.Run()
+	for i := 0; srv.Stats().FramesPublished < 20; i++ {
+		if i > 10000 {
+			t.Fatal("no telemetry flowed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	srv.Shutdown() // mid-flight, subscriber still attached and reading
+
+	var data []byte
+	select {
+	case data = <-streamed:
+	case <-time.After(30 * time.Second):
+		t.Fatal("subscriber never reached EOF after shutdown")
+	}
+	frames := parseStream(t, data) // fails on any torn or interleaved frame
+	heartbeats := 0
+	for _, f := range frames {
+		if f.MsgID == mavlink.MsgHeartbeat {
+			heartbeats++
+		}
+	}
+	st := srv.Stats()
+	if st.FramesDropped != 0 {
+		t.Fatalf("an actively-reading subscriber shed %d units", st.FramesDropped)
+	}
+	// One heartbeat per published unit: the subscriber got the whole
+	// stream, which is only possible if the hub closed after the engine
+	// fully drained.
+	if uint64(heartbeats) != st.FramesPublished {
+		t.Fatalf("subscriber parsed %d heartbeats of %d published units",
+			heartbeats, st.FramesPublished)
+	}
+	if st.TelemetryBacklog != 0 {
+		t.Fatalf("%d units left queued after shutdown drain", st.TelemetryBacklog)
+	}
+}

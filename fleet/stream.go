@@ -52,7 +52,13 @@ func (s *Server) ServeTelemetry(ln net.Listener) error {
 			conn.Close()
 			return nil
 		}
-		go s.serveSubscriber(conn)
+		// subWG lets Shutdown wait (bounded) for serving goroutines to
+		// flush their subscribers' queues before force-closing connections.
+		s.subWG.Add(1)
+		go func() {
+			defer s.subWG.Done()
+			s.serveSubscriber(conn)
+		}()
 	}
 }
 

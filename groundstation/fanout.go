@@ -98,6 +98,20 @@ func (h *Hub) Stats() (published, dropped uint64, subscribers int) {
 	return h.published, h.dropped, len(h.subs)
 }
 
+// Backlog returns the total queued-but-undelivered units across current
+// subscribers — the drain-aware close signal: a shutdown that wants
+// subscribers to see every published unit waits for the backlog to flush
+// (bounded) before force-closing their connections.
+func (h *Hub) Backlog() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for s := range h.subs {
+		n += s.Len()
+	}
+	return n
+}
+
 // Sub is one subscriber's bounded telemetry queue. Next blocks until a unit
 // arrives or the subscription closes; push (hub-side) never blocks.
 type Sub struct {
@@ -162,6 +176,13 @@ func (s *Sub) popLocked() ([]byte, bool) {
 	s.head = (s.head + 1) % len(s.ring)
 	s.n--
 	return u, true
+}
+
+// Len returns how many units are queued awaiting delivery.
+func (s *Sub) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
 }
 
 // Dropped returns how many units this subscriber has shed so far.

@@ -244,6 +244,47 @@ func TestHubReconnectResume(t *testing.T) {
 	}
 }
 
+// TestHubBacklog pins the drain-aware close signal: Backlog counts queued
+// undelivered units across subscribers, falls as they drain, and drops to
+// zero once subscribers detach — never double-counting shed units.
+func TestHubBacklog(t *testing.T) {
+	next := telemetrySource(t)
+	hub := NewHub()
+	a := hub.Subscribe(4)
+	b := hub.Subscribe(8)
+	for i := 0; i < 6; i++ {
+		hub.Publish(next())
+	}
+	// a's 4-deep ring shed 2 of the 6; b holds all 6.
+	if got := hub.Backlog(); got != 4+6 {
+		t.Fatalf("backlog = %d, want 10", got)
+	}
+	if a.Len() != 4 || b.Len() != 6 {
+		t.Fatalf("sub lens = %d/%d, want 4/6", a.Len(), b.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := b.Next(); !ok {
+			t.Fatal("drain underflow")
+		}
+	}
+	if got := hub.Backlog(); got != 4+3 {
+		t.Fatalf("backlog after partial drain = %d, want 7", got)
+	}
+	hub.Unsubscribe(a)
+	if got := hub.Backlog(); got != 3 {
+		t.Fatalf("backlog after unsubscribe = %d, want 3", got)
+	}
+	hub.Close()
+	for {
+		if _, ok := b.Next(); !ok {
+			break
+		}
+	}
+	if got := hub.Backlog(); got != 0 {
+		t.Fatalf("backlog after close + drain = %d, want 0", got)
+	}
+}
+
 // TestHubCloseDrains pins the shutdown contract: units queued before Close
 // are still delivered, then Next reports closed.
 func TestHubCloseDrains(t *testing.T) {

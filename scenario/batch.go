@@ -132,6 +132,35 @@ func (b *Batch) Admit(st *Stack) int {
 	return i
 }
 
+// Abort finishes a live lane immediately with the given reason, without
+// advancing it further; the next Evict returns (nil, reason) since the lane
+// never produced a Result. This is the service layer's kill switch — a
+// fleet job blowing its wall-clock deadline, or a drain abandoning a lane —
+// and like Admit/Evict it must only be called from the goroutine that owns
+// the batch. Aborting a finished or evicted lane is a no-op.
+func (b *Batch) Abort(i int, reason error) {
+	if i < 0 || i >= len(b.lanes) || b.done[i] || b.lanes[i] == nil {
+		return
+	}
+	if reason == nil {
+		reason = errors.New("scenario: lane aborted")
+	}
+	b.done[i], b.errs[i] = true, reason
+	if b.started {
+		b.live--
+	}
+}
+
+// LaneSimTimeS reports lane i's current simulated time in seconds (0 for a
+// failed-Build or evicted lane) — the progress bookkeeping a resumable job
+// host mirrors into its status API between ticks.
+func (b *Batch) LaneSimTimeS(i int) float64 {
+	if i < 0 || i >= len(b.lanes) || b.lanes[i] == nil {
+		return 0
+	}
+	return b.lanes[i].SimTimeS()
+}
+
 // Evict finalizes a finished lane: it returns the lane's outcome, clears
 // the slot, and marks it reusable by the next Admit. Evicting a live lane
 // is an error (the lane keeps flying). After eviction the lane's Result is

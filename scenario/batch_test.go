@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"hash"
 	"math"
 	"testing"
@@ -241,6 +242,68 @@ func TestBatchEvictGuards(t *testing.T) {
 	}
 	if res, err := b.Evict(badLane); err == nil || res != nil {
 		t.Fatal("nil lane eviction must surface its admission error")
+	}
+}
+
+// TestBatchAbortLane pins the service-layer kill switch: aborting a live
+// lane finishes it immediately with the given reason, frees its slot for
+// reuse, and leaves co-tenant lanes bit-unchanged (their flights never
+// observe the abort).
+func TestBatchAbortLane(t *testing.T) {
+	solo, err := scenario.Run(scenario.Spec{Seed: 81, Hover: true, MaxSeconds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := scenario.NewBatch([]scenario.Spec{
+		{Seed: 81, Hover: true, MaxSeconds: 2},
+		{Seed: 82, Hover: true, MaxSeconds: 30},
+	})
+	b.Start()
+	b.TickN(500)
+	reason := errors.New("deadline exceeded")
+	b.Abort(1, reason)
+	if !b.LaneDone(1) || b.LaneErr(1) != reason {
+		t.Fatalf("aborted lane: done=%v err=%v", b.LaneDone(1), b.LaneErr(1))
+	}
+	if res, err := b.Evict(1); res != nil || err != reason {
+		t.Fatalf("evicting aborted lane: res=%v err=%v", res, err)
+	}
+	b.Abort(1, reason) // aborting an evicted slot is a no-op
+	if lane := b.Admit(nil); lane != 1 {
+		t.Fatalf("aborted slot not reused: got lane %d", lane)
+	}
+
+	for !b.TickN(1000) {
+	}
+	res, err := b.Evict(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlightTimeS != solo.FlightTimeS || res.EnergyWh != solo.EnergyWh {
+		t.Fatal("co-tenant flight perturbed by a lane abort")
+	}
+	if b.Live() != 0 {
+		t.Fatalf("live = %d after all lanes finished", b.Live())
+	}
+}
+
+// TestBatchLaneSimTime pins the progress bookkeeping: sim time is 0 before
+// Start, advances with ticks, and reads 0 on evicted lanes.
+func TestBatchLaneSimTime(t *testing.T) {
+	b := scenario.NewBatch([]scenario.Spec{{Seed: 91, Hover: true, MaxSeconds: 5}})
+	if tS := b.LaneSimTimeS(0); tS != 0 {
+		t.Fatalf("sim time before start = %v", tS)
+	}
+	b.Start()
+	b.TickN(1000) // 1 simulated second at 1 kHz
+	if tS := b.LaneSimTimeS(0); tS <= 0.9 || tS >= 1.1 {
+		t.Fatalf("sim time after 1000 ticks = %v, want ~1 s", tS)
+	}
+	b.Abort(0, errors.New("stop"))
+	b.Evict(0)
+	if tS := b.LaneSimTimeS(0); tS != 0 {
+		t.Fatalf("sim time on evicted lane = %v", tS)
 	}
 }
 

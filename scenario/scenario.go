@@ -480,6 +480,10 @@ func (st *Stack) Done() bool { return st.drv.state == drvDone }
 // Err returns the flight error, if any, once Done.
 func (st *Stack) Err() error { return st.drv.err }
 
+// SimTimeS returns the stack's current simulated time in seconds; it is
+// valid at any point between ticks and advances monotonically.
+func (st *Stack) SimTimeS() float64 { return st.Autopilot.Time() }
+
 // Result returns the structured outcome once Done (nil on error or before).
 func (st *Stack) Result() *Result { return st.drv.result }
 
