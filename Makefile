@@ -9,7 +9,8 @@
 #
 #   ci-quick   fmt-check + vet + build + test — the fast inner loop
 #   race       the full suite under the race detector
-#   ci-bench   the benchmark smokes (core, SLAM, fault, batch, roofline)
+#   ci-bench   the benchmark smokes (core, SLAM, fault, batch, workloads,
+#              roofline)
 #              plus the BENCH_core.json ns/op regression guard
 #   ci-smoke   the end-to-end command smokes, including the fleetd pipeline
 #              and the crash/recovery chaos harness (scripts/fleet_chaos.sh)
@@ -19,7 +20,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: all build vet vet-failpoint test test-failpoint race fmt-check vuln bench-smoke bench-slam bench-fault bench-batch bench-json bench-roofline bench-guard smoke-cmds ci-quick ci-bench ci-smoke ci
+.PHONY: all build vet vet-failpoint test test-failpoint race fmt-check vuln bench-smoke bench-slam bench-fault bench-batch bench-workloads bench-json bench-roofline bench-guard smoke-cmds ci-quick ci-bench ci-smoke ci
 
 all: build
 
@@ -80,6 +81,16 @@ bench-batch:
 	$(GO) test -race ./scenario/ -run 'TestBatchSerialBitIdentity|TestBatchTickGranularityInvariance|TestBatchLaneErrorIsolation'
 	$(GO) test ./scenario/ -run TestBatchZeroAllocSteadyState
 
+# Workload-layer smoke: the pluggable-workload acceptance tests — wire
+# round-trips, per-workload golden digests at several batch/pool shapes, the
+# mixed-co-tenant bit-identity property, and the zero-alloc guard over every
+# workload kind — under the race detector, plus a delivery flight through the
+# CLI so the payload-mass path stays wired end to end.
+bench-workloads:
+	$(GO) test -race ./mission/ ./scenario/ -run 'TestWorkload|TestLawnmower|TestTargetModel'
+	$(GO) test -race ./fleet/ -run 'TestWorkloadRoundTrip|TestSubmitValidation'
+	$(GO) run ./cmd/flysim -workload delivery -seconds 120 >/dev/null
+
 # Perf trajectory artifact: BENCH_core.json (ns/op, allocs/op per pool size,
 # plus the per-kernel roofline placements).
 bench-json:
@@ -128,7 +139,7 @@ test-failpoint:
 
 ci-quick: fmt-check vet vet-failpoint build test
 
-ci-bench: bench-smoke bench-slam bench-fault bench-batch bench-roofline bench-guard
+ci-bench: bench-smoke bench-slam bench-fault bench-batch bench-workloads bench-roofline bench-guard
 
 ci-smoke: test-failpoint smoke-cmds
 

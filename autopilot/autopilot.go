@@ -291,6 +291,12 @@ func (a *Autopilot) StartMission() error {
 // failsafe abort).
 func (a *Autopilot) MissionCompleted() bool { return a.missionDone }
 
+// MissionIndex reports the next unvisited waypoint's index. It advances as
+// the mission progresses and pins at len(plan)-1 once the final waypoint is
+// reached (MissionCompleted distinguishes the terminal hold); workload
+// drivers watch it to trigger mid-mission events such as payload handoffs.
+func (a *Autopilot) MissionIndex() int { return a.wpIndex }
+
 // CommandLand requests a descent to touchdown.
 func (a *Autopilot) CommandLand() { a.mode = Land }
 

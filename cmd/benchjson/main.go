@@ -26,6 +26,7 @@ import (
 	"dronedse/dataset"
 	"dronedse/faultx"
 	"dronedse/fleet"
+	"dronedse/mission"
 	"dronedse/parallelx"
 	"dronedse/roofline"
 	"dronedse/scenario"
@@ -71,7 +72,7 @@ type Report struct {
 func main() {
 	out := flag.String("o", "BENCH_core.json", "output file (- for stdout)")
 	seqs := flag.Int("seqs", 2, "SLAM sequences for the suite benchmark (0 = all 11, slow)")
-	quick := flag.Bool("quick", false, "smoke subset only (resolve kernels + scenario_flight)")
+	quick := flag.Bool("quick", false, "smoke subset only (resolve kernels, scenario_flight, workload kernels)")
 	procs := flag.Int("procs", runtime.NumCPU(), "runtime.GOMAXPROCS for the whole run")
 	flag.Parse()
 	runtime.GOMAXPROCS(*procs)
@@ -232,6 +233,45 @@ func main() {
 		b.StopTimer()
 		srv.Shutdown()
 	})
+	// Workload kernels: one full closed-loop flight per op for each
+	// MAVBench-style workload, plus a fault-campaign variant (fault-free
+	// baseline + severe compound fault) per workload. Each flight kernel
+	// also checks the run resolves a positive Equation-7 compute
+	// flight-time cost — the figure the paper prices companion compute in.
+	for _, wk := range []struct {
+		name string
+		wl   mission.Workload
+	}{
+		{"workload_coverage", mission.Coverage{}},
+		{"workload_delivery", mission.DefaultDelivery()},
+		{"workload_follow", mission.Follow{}},
+	} {
+		wk := wk
+		measure(wk.name, serial, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := scenario.Run(scenario.Spec{Seed: 1, MaxSeconds: 120, Workload: wk.wl})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Workload.Completed {
+					b.Fatalf("%s did not complete", wk.name)
+				}
+				if res.ComputeFlightCostMin() <= 0 {
+					b.Fatalf("%s: no Equation-7 flight-time cost", wk.name)
+				}
+			}
+		})
+		measure(wk.name+"_campaign", serial, func(b *testing.B) {
+			scenarios := []faultx.Scenario{faultx.SevereScenario(1)}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := faultx.Run(scenarios, faultx.Config{MaxSeconds: 90, Workload: wk.wl}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 	if *quick {
 		writeReport(rep, *out)
 		return

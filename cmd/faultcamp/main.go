@@ -13,6 +13,7 @@
 //	faultcamp -n 4 -seed 10        # replicate the set across seeds 10..13
 //	faultcamp -json                # machine-readable output
 //	faultcamp -procs 2             # bound the worker pool
+//	faultcamp -workload coverage   # campaign the lawnmower survey workload
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"os"
 
 	"dronedse/faultx"
+	"dronedse/mission"
 	"dronedse/parallelx"
 )
 
@@ -30,16 +32,26 @@ func main() {
 	procs := flag.Int("procs", 0, "worker pool size (0 = all cores)")
 	jsonOut := flag.Bool("json", false, "emit the campaign as JSON")
 	seconds := flag.Float64("seconds", 240, "maximum simulated seconds per flight")
+	workload := flag.String("workload", "", "workload every flight flies: box, hover, coverage, delivery, follow (default box)")
 	flag.Parse()
 
 	if *procs > 0 {
 		parallelx.SetPoolSize(*procs)
 	}
+	cfg := faultx.Config{MaxSeconds: *seconds}
+	if *workload != "" {
+		wl, err := mission.Named(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultcamp:", err)
+			os.Exit(1)
+		}
+		cfg.Workload = wl
+	}
 	var scs []faultx.Scenario
 	for i := 0; i < *n; i++ {
 		scs = append(scs, faultx.StandardScenarios(*seed+int64(i))...)
 	}
-	c, err := faultx.Run(scs, faultx.Config{MaxSeconds: *seconds})
+	c, err := faultx.Run(scs, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faultcamp:", err)
 		os.Exit(1)

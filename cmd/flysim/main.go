@@ -10,6 +10,7 @@
 //
 //	flysim -alt 5 -slam            # fly the default box mission with SLAM power on
 //	flysim -seconds 120 -hover     # just hover and watch the battery drain
+//	flysim -workload delivery      # fly the two-leg package-delivery demo
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	"dronedse/autopilot"
+	"dronedse/mission"
 	"dronedse/scenario"
 )
 
@@ -25,6 +27,7 @@ func main() {
 	alt := flag.Float64("alt", 5, "takeoff altitude (m)")
 	slam := flag.Bool("slam", false, "run SLAM-class compute load (RPi at 4.56 W vs 3.39 W)")
 	hover := flag.Bool("hover", false, "hover instead of flying the mission")
+	workload := flag.String("workload", "", "workload kind: box, hover, coverage, delivery, follow (default box)")
 	seconds := flag.Float64("seconds", 240, "maximum simulated seconds")
 	seed := flag.Int64("seed", 1, "sensor/environment seed")
 	wind := flag.Float64("wind", 0, "steady wind (m/s)")
@@ -59,6 +62,11 @@ func main() {
 	if *wind > 0 {
 		spec.Wind = scenario.Wind{MeanMS: *wind, GustMS: *wind / 2}
 	}
+	if *workload != "" {
+		wl, err := mission.Named(*workload)
+		check(err)
+		spec.Workload = wl
+	}
 
 	st, err := scenario.Build(spec)
 	check(err)
@@ -72,6 +80,19 @@ func main() {
 	}
 
 	fmt.Printf("\nflight complete at t=%.1f s\n", res.FlightTimeS)
+	if res.Workload.Kind != "" {
+		fmt.Printf("workload %s: completed=%v", res.Workload.Kind, res.Workload.Completed)
+		if res.Workload.DeliveredKg > 0 {
+			fmt.Printf(" delivered=%.2fkg over %d legs", res.Workload.DeliveredKg, res.Workload.LegsDone)
+		}
+		if res.Workload.CoverageFrac > 0 {
+			fmt.Printf(" coverage=%.0f%%", 100*res.Workload.CoverageFrac)
+		}
+		if res.Workload.MaxTrackErrM > 0 {
+			fmt.Printf(" track err mean=%.2fm max=%.2fm", res.Workload.MeanTrackErrM, res.Workload.MaxTrackErrM)
+		}
+		fmt.Println()
+	}
 	fmt.Printf("whole-drone power: avg %.1f W, peak %.1f W (paper's drone: 130 W avg)\n",
 		res.Trace.MeanPower(2, res.FlightTimeS), res.Trace.PeakPower(2, res.FlightTimeS))
 	fmt.Printf("energy used: %.2f Wh of %.2f Wh usable\n",

@@ -8,6 +8,7 @@ import (
 	"dronedse/autopilot"
 	"dronedse/groundstation"
 	"dronedse/mathx"
+	"dronedse/mission"
 	"dronedse/offload"
 	"dronedse/platform"
 	"dronedse/scenario"
@@ -61,6 +62,11 @@ type Config struct {
 	// session's share (default platform.FlightComputeW(false), the flysim
 	// RPi + Navio2).
 	BaseComputeW float64
+	// Workload selects what every flight in the campaign does after
+	// takeoff (nil = the reference box mission, the historical campaign).
+	// Every workload kind thus gets a fault-campaign variant for free:
+	// same injectors, same lossy telemetry, same classification.
+	Workload mission.Workload
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +137,11 @@ func campaignSLAMStats() slam.Stats {
 // every flight serially.
 func Run(scenarios []Scenario, cfg Config) (*Campaign, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Workload != nil {
+		if err := cfg.Workload.Validate(); err != nil {
+			return nil, fmt.Errorf("campaign workload: %w", err)
+		}
+	}
 	for _, sc := range scenarios {
 		if err := sc.Plan.Validate(); err != nil {
 			return nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
@@ -229,6 +240,7 @@ func buildLane(sc Scenario, cfg Config) lane {
 		gs:   gs,
 		spec: scenario.Spec{
 			Seed:         sc.Seed,
+			Workload:     cfg.Workload,
 			TakeoffAltM:  cfg.TakeoffAltM,
 			MaxSeconds:   cfg.MaxSeconds,
 			Compute:      scenario.Compute{BaseW: cfg.BaseComputeW},
@@ -284,7 +296,11 @@ func classify(res *scenario.Result) Outcome {
 	if res.FinalMode != autopilot.Disarmed {
 		return OutcomeTimeout
 	}
-	if res.Completed {
+	// res.Completed is the waypoint-mission notion; the workload's own
+	// Completed covers the kinds without one (hover's full loiter, follow's
+	// full track). For waypoint workloads the two agree, so the historical
+	// box-campaign classification is unchanged.
+	if res.Completed || res.Workload.Completed {
 		return OutcomeCompleted
 	}
 	for _, e := range res.Log.Events() {

@@ -20,9 +20,11 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"errors"
 	"hash"
 	"math"
 
+	"dronedse/mission"
 	"dronedse/scenario"
 )
 
@@ -65,6 +67,10 @@ type JobSpec struct {
 	MaxSeconds  float64 `json:"max_seconds,omitempty"`
 	TakeoffAltM float64 `json:"takeoff_alt_m,omitempty"`
 
+	// Workload selects what the vehicle does after takeoff (nil plus Hover
+	// false = the reference box mission; see mission.WireSpec for the kinds).
+	Workload *mission.WireSpec `json:"workload,omitempty"`
+
 	WindMeanMS float64 `json:"wind_mean_ms,omitempty"`
 	WindGustMS float64 `json:"wind_gust_ms,omitempty"`
 
@@ -87,10 +93,24 @@ type JobSpec struct {
 	DeadlineS float64 `json:"deadline_s,omitempty"`
 }
 
+// Validate vets the wire form before any engine resources are committed to
+// it: an unknown workload kind or a malformed workload payload is a tenant
+// error the server must refuse at submit time (HTTP 400), not an engine
+// fault mid-flight.
+func (j JobSpec) Validate() error {
+	if j.Workload == nil {
+		return nil
+	}
+	if j.Hover {
+		return errors.New("fleet: job sets both hover and a workload")
+	}
+	return j.Workload.Validate()
+}
+
 // Scenario expands the wire form into the engine's Spec. The telemetry sink
 // is left nil; the server installs its fan-out hub there.
 func (j JobSpec) Scenario() scenario.Spec {
-	return scenario.Spec{
+	spec := scenario.Spec{
 		Seed:        j.Seed,
 		Hover:       j.Hover,
 		MaxSeconds:  j.MaxSeconds,
@@ -104,6 +124,12 @@ func (j JobSpec) Scenario() scenario.Spec {
 		Compute:   scenario.Compute{SLAM: j.SLAM},
 		Telemetry: scenario.Telemetry{EverySteps: j.TelemetryEverySteps},
 	}
+	// Store the WireSpec by value: assigning the typed-nil pointer would
+	// make spec.Workload a non-nil interface wrapping nil.
+	if j.Workload != nil {
+		spec.Workload = *j.Workload
+	}
+	return spec
 }
 
 // Digests are the determinism contract's fingerprints, taken at full

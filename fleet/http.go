@@ -42,6 +42,8 @@ func (s *Server) Handler() http.Handler {
 		if err != nil {
 			code := http.StatusServiceUnavailable
 			switch {
+			case errors.Is(err, ErrBadSpec):
+				code = http.StatusBadRequest
 			case errors.Is(err, ErrQueueFull):
 				code = http.StatusTooManyRequests
 				w.Header().Set("Retry-After", "1")

@@ -28,6 +28,10 @@ var (
 	// ErrDeadline: the job exceeded its wall-clock deadline and was evicted
 	// mid-flight (journaled as CANCEL, not re-admitted on restart).
 	ErrDeadline = errors.New("fleet: job deadline exceeded")
+	// ErrBadSpec: a submitted JobSpec failed validation (unknown workload
+	// kind, malformed workload payload). A tenant error, mapped to 400 —
+	// never a retry.
+	ErrBadSpec = errors.New("fleet: invalid job spec")
 )
 
 // Config sizes a Server. The zero value is a usable single-box default.
@@ -224,12 +228,19 @@ func (s *Server) Submit(spec JobSpec) (uint64, error) {
 
 // SubmitAll enqueues jobs in order and returns their IDs. With a journal,
 // every job is fsync'd durable BEFORE this returns: an acknowledged
-// submission survives SIGKILL from that moment on. Returns ErrQueueFull
-// when the bounded admission queue cannot take the batch, ErrDraining /
-// ErrShutdown when the server no longer accepts work.
+// submission survives SIGKILL from that moment on. Returns ErrBadSpec when
+// any job fails validation (the whole batch is refused — no partial
+// acceptance), ErrQueueFull when the bounded admission queue cannot take
+// the batch, ErrDraining / ErrShutdown when the server no longer accepts
+// work.
 func (s *Server) SubmitAll(specs []JobSpec) ([]uint64, error) {
 	if len(specs) == 0 {
 		return nil, nil
+	}
+	for i, spec := range specs {
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: job %d: %v", ErrBadSpec, i, err)
+		}
 	}
 	s.mu.Lock()
 	if s.closed {

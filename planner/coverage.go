@@ -1,0 +1,49 @@
+package planner
+
+import (
+	"errors"
+
+	"dronedse/mathx"
+)
+
+// Lawnmower generates a boustrophedon (back-and-forth) coverage path over
+// the axis-aligned rectangle with the given origin corner and extent, at a
+// fixed altitude: survey rows run along +X/−X alternately, stepping +Y by
+// the lane spacing, so a sensor with half-footprint ≥ spacing/2 images the
+// whole area. The returned points are the row endpoints, in flight order —
+// ready to become mission waypoints or a PlanTrajectory input.
+//
+// The final row is pinned to the far edge (origin.Y + heightM) whenever the
+// spacing does not divide the height exactly, so coverage never falls short
+// of the declared area; the last lane simply overlaps its neighbor.
+func Lawnmower(origin mathx.Vec3, widthM, heightM, spacingM, altM float64) ([]mathx.Vec3, error) {
+	if widthM <= 0 || heightM <= 0 {
+		return nil, errors.New("planner: coverage area must have positive extent")
+	}
+	if spacingM <= 0 {
+		return nil, errors.New("planner: coverage lane spacing must be positive")
+	}
+	if altM <= 0 {
+		return nil, errors.New("planner: coverage altitude must be above ground")
+	}
+	rows := int(heightM/spacingM) + 1
+	// Pin the far edge when the spacing leaves a strip uncovered.
+	if float64(rows-1)*spacingM < heightM {
+		rows++
+	}
+	pts := make([]mathx.Vec3, 0, 2*rows)
+	for i := 0; i < rows; i++ {
+		y := origin.Y + float64(i)*spacingM
+		if y > origin.Y+heightM {
+			y = origin.Y + heightM
+		}
+		near := mathx.V3(origin.X, y, altM)
+		far := mathx.V3(origin.X+widthM, y, altM)
+		if i%2 == 0 {
+			pts = append(pts, near, far)
+		} else {
+			pts = append(pts, far, near)
+		}
+	}
+	return pts, nil
+}

@@ -1,0 +1,68 @@
+package planner
+
+import (
+	"testing"
+
+	"dronedse/mathx"
+)
+
+// TestLawnmowerGeometry pins the boustrophedon layout: row count, serpentine
+// direction flips, and the far-edge pin when the spacing does not divide the
+// height.
+func TestLawnmowerGeometry(t *testing.T) {
+	origin := mathx.V3(4, 0, 0)
+
+	// Exact division: 24 m at 6 m spacing → 5 rows, 10 endpoints.
+	pts, err := Lawnmower(origin, 24, 24, 6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("got %d endpoints, want 10", len(pts))
+	}
+	for _, p := range pts {
+		if p.Z != 5 {
+			t.Fatalf("endpoint %v not at survey altitude", p)
+		}
+	}
+	// Even rows run near→far, odd rows far→near.
+	if pts[0].X != 4 || pts[1].X != 28 || pts[2].X != 28 || pts[3].X != 4 {
+		t.Fatalf("serpentine order broken: %v %v %v %v", pts[0], pts[1], pts[2], pts[3])
+	}
+	// Rows step +Y by the spacing; last row sits on the far edge.
+	if pts[0].Y != 0 || pts[2].Y != 6 || pts[8].Y != 24 {
+		t.Fatalf("row spacing broken: y = %v %v %v", pts[0].Y, pts[2].Y, pts[8].Y)
+	}
+
+	// Non-dividing spacing: 10 m at 4 m → rows at 0, 4, 8, then the pinned
+	// far edge at 10.
+	pts, err = Lawnmower(origin, 10, 10, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("got %d endpoints, want 8", len(pts))
+	}
+	if last := pts[len(pts)-1].Y; last != 10 {
+		t.Fatalf("final row y = %v, want the pinned far edge 10", last)
+	}
+}
+
+// TestLawnmowerErrors pins the input validation.
+func TestLawnmowerErrors(t *testing.T) {
+	origin := mathx.V3(0, 0, 0)
+	cases := []struct {
+		name               string
+		w, h, spacing, alt float64
+	}{
+		{"zero width", 0, 10, 2, 5},
+		{"negative height", 10, -1, 2, 5},
+		{"zero spacing", 10, 10, 0, 5},
+		{"ground altitude", 10, 10, 2, 0},
+	}
+	for _, c := range cases {
+		if _, err := Lawnmower(origin, c.w, c.h, c.spacing, c.alt); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"dronedse/core"
 	"dronedse/estimation"
 	"dronedse/mathx"
+	"dronedse/mission"
 	"dronedse/trace"
 )
 
@@ -25,6 +26,12 @@ type Result struct {
 	FinalMode autopilot.Mode
 	// LastEvent is the autopilot's final safety/mode annotation.
 	LastEvent string
+
+	// Workload is the flown workload's own outcome: its kind, its notion of
+	// completion, and its kind-specific metrics (delivered payload mass and
+	// per-phase Equation 1/5 resolutions, coverage fraction, follow tracking
+	// error).
+	Workload mission.Outcome
 
 	// Trajectory is the true position sampled at 10 Hz from the first
 	// physics step.

@@ -9,9 +9,15 @@
 // Determinism contract: a Spec is a pure value plus a seed. Build derives
 // every stochastic stream (sensor noise, turbulence, instrument noise,
 // offload jitter) from Spec.Seed, and Run drives the stack through a fixed
-// arm → takeoff → mission/hover → land sequence, so the same Spec always
+// arm → takeoff → workload → land sequence, so the same Spec always
 // reproduces the same flight bit for bit — the property the campaign
 // pool-invariance and golden-regression tests pin.
+//
+// What flies after takeoff is a mission.Workload: the driver arms, takes
+// off, then hands the flight to the workload's per-flight Driver until it
+// reports done (see package mission). The legacy Mission/Hover/Trajectory
+// Spec fields remain as inputs and are mapped onto the equivalent adapter
+// workloads by withDefaults — the driver itself no longer branches on them.
 //
 // Observer ordering: Build registers step observers on the autopilot's bus
 // in a fixed order — (1) the power-trace recorder, (2) the flight log,
@@ -29,6 +35,7 @@ import (
 	"dronedse/autopilot"
 	"dronedse/control"
 	"dronedse/mathx"
+	"dronedse/mission"
 	"dronedse/offload"
 	"dronedse/planner"
 	"dronedse/platform"
@@ -174,15 +181,19 @@ type Spec struct {
 
 	// TakeoffAltM is the takeoff altitude (default 5).
 	TakeoffAltM float64
-	// Mission is the waypoint plan; nil selects BoxMission(TakeoffAltM).
-	// Ignored when Hover or Trajectory is set.
+	// Workload is what the vehicle does after takeoff. Nil falls back to
+	// the legacy Mission/Hover/Trajectory fields below, and when those are
+	// zero too, to mission.Box{} (the 12 m reference box).
+	Workload mission.Workload
+	// Mission is the legacy waypoint-plan field, mapped onto
+	// mission.Waypoints when Workload is nil. Ignored when Hover or
+	// Trajectory is set.
 	Mission autopilot.MissionPlan
-	// Trajectory, when non-nil, flies a time-parametrized planner
-	// trajectory after takeoff and ends hovering at its terminus instead
-	// of flying a waypoint mission.
+	// Trajectory is the legacy planner-trajectory field, mapped onto
+	// mission.Trajectory when Workload is nil.
 	Trajectory *planner.Trajectory
-	// Hover loiters at the takeoff altitude for MaxSeconds, then lands,
-	// instead of flying a mission (flysim's -hover).
+	// Hover is the legacy loiter flag (flysim's -hover), mapped onto
+	// mission.Hover when Workload is nil.
 	Hover bool
 	// MaxSeconds bounds the whole flight (default 240).
 	MaxSeconds float64
@@ -224,21 +235,29 @@ func (s Spec) withDefaults() Spec {
 	if s.TraceSeed == 0 {
 		s.TraceSeed = s.Seed
 	}
-	if s.Mission == nil && !s.Hover && s.Trajectory == nil {
-		s.Mission = BoxMission(s.TakeoffAltM)
+	// Map the legacy mission-union fields onto their adapter workloads; an
+	// explicit Workload wins over all of them.
+	if s.Workload == nil {
+		switch {
+		case s.Hover:
+			s.Workload = mission.Hover{}
+		case s.Trajectory != nil:
+			s.Workload = mission.Trajectory{Traj: s.Trajectory}
+		case s.Mission != nil:
+			s.Workload = mission.Waypoints{Plan: s.Mission}
+		default:
+			s.Workload = mission.Box{}
+		}
 	}
 	return s
 }
 
 // BoxMission is the reference 12 m box at the given takeoff altitude — the
 // mission cmd/flysim, faultx campaigns and bench.RunFigure16 all fly, so
-// their outputs stay mutually bit-comparable.
+// their outputs stay mutually bit-comparable. It delegates to
+// mission.BoxPlan, the plan mission.Box flies.
 func BoxMission(altM float64) autopilot.MissionPlan {
-	return autopilot.MissionPlan{
-		{Pos: mathx.V3(12, 0, altM+1), HoldS: 1},
-		{Pos: mathx.V3(12, 12, altM+3), HoldS: 1},
-		{Pos: mathx.V3(0, 12, altM+1), HoldS: 1},
-	}
+	return mission.BoxPlan(altM)
 }
 
 // Stack is a fully wired flight stack, ready to Run. All fields are the
@@ -254,6 +273,7 @@ type Stack struct {
 	Trace     *trace.Recorder
 
 	baseComputeW float64
+	designMassKg float64
 	steps        int
 	traj         []mathx.Vec3
 	maxEstErr    float64
@@ -262,6 +282,26 @@ type Stack struct {
 	telemSeq     uint8
 	ran          bool
 	drv          driver
+	wl           mission.Driver
+}
+
+// The Stack is the mission.Host its workload driver flies against.
+var _ mission.Host = (*Stack)(nil)
+
+// AP implements mission.Host.
+func (st *Stack) AP() *autopilot.Autopilot { return st.Autopilot }
+
+// MissionStarted implements mission.Host: the workload reports its waypoint
+// mission is executing, which the scenario surfaces as PhaseMissionStarted.
+func (st *Stack) MissionStarted() { st.phase(PhaseMissionStarted) }
+
+// SetPayloadKg implements mission.Host: attach (or release) a carried
+// payload mid-flight. The mass is physical — it enters the plant's dynamics
+// immediately — and the position controller's feedforward is retrimmed so
+// the cascade expects the mass it is actually lifting.
+func (st *Stack) SetPayloadKg(kg float64) {
+	st.Quad.SetPayloadKg(kg)
+	st.Autopilot.Cascade().MassKg = st.designMassKg + st.Quad.PayloadKg()
 }
 
 // Build performs all cross-package wiring for a Spec and registers the
@@ -304,6 +344,13 @@ func Build(spec Spec) (*Stack, error) {
 	st := &Stack{
 		Spec: spec, Quad: q, Env: env, Battery: pack, Autopilot: ap,
 		Log: &autopilot.FlightLog{}, baseComputeW: baseW,
+		designMassKg: cfg.MassKg,
+	}
+	st.wl, err = spec.Workload.New(mission.Context{
+		Seed: spec.Seed, TakeoffAltM: spec.TakeoffAltM, MaxSeconds: spec.MaxSeconds,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: workload: %w", err)
 	}
 
 	if spec.Faults != nil {
@@ -327,14 +374,10 @@ func Build(spec Spec) (*Stack, error) {
 	}
 
 	// Pre-size every per-step recording path for the worst-case flight
-	// duration — takeoff budget, longest post-takeoff branch, landing
-	// watch — so steady-state stepping never grows an append.
-	durS := 30 + spec.MaxSeconds + 60
-	if spec.Trajectory != nil {
-		if d := 30 + spec.Trajectory.TotalS + 30; d > durS {
-			durS = d
-		}
-	}
+	// duration — takeoff budget plus the workload's own horizon (which
+	// includes its landing watch) — so steady-state stepping never grows an
+	// append.
+	durS := 30 + spec.Workload.HorizonS(spec.MaxSeconds)
 	st.traj = make([]mathx.Vec3, 0, int(durS*10)+2)
 	st.Log.Reserve(durS)
 
@@ -384,17 +427,15 @@ func (st *Stack) probe(a *autopilot.Autopilot, dt float64) {
 	st.steps++
 }
 
-// driverState enumerates the tick driver's flight-sequence states, in the
-// order the blocking Run historically visited them.
+// driverState enumerates the tick driver's flight-sequence states. Takeoff
+// is the one phase the scenario still owns; everything after it belongs to
+// the workload's Driver.
 type driverState int
 
 const (
-	drvUnstarted  driverState = iota
-	drvTakeoff                // RunUntil(mode != Takeoff, 30 s)
-	drvHover                  // RunFor(MaxSeconds) loiter before landing
-	drvLanding                // RunUntil(mode == Disarmed, 60 s)
-	drvTrajectory             // RunUntil(mode == Hover, TotalS + 30 s)
-	drvMission                // RunUntil(mode == Disarmed, MaxSeconds - t)
+	drvUnstarted driverState = iota
+	drvTakeoff               // RunUntil(mode != Takeoff, 30 s)
+	drvActive                // the workload's Driver is flying
 	drvDone
 )
 
@@ -407,7 +448,7 @@ const (
 // one physics step per Tick regardless of what phase it is in.
 type driver struct {
 	state     driverState
-	budget    int // remaining steps in the current state
+	budget    int // remaining steps in the takeoff phase
 	takeoffOK bool
 	err       error
 	result    *Result
@@ -421,17 +462,15 @@ func (st *Stack) Start() error {
 	}
 	st.ran = true
 	ap := st.Autopilot
-	spec := st.Spec
-	if !spec.Hover && spec.Trajectory == nil {
-		if err := ap.LoadMission(spec.Mission); err != nil {
-			return fmt.Errorf("scenario: %w", err)
-		}
+	if err := st.wl.Start(st); err != nil {
+		return fmt.Errorf("scenario: %w", err)
 	}
 	if err := ap.Arm(); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
 	st.phase(PhaseArmed)
-	st.enter(drvTakeoff, int(30*ap.PhysicsHz()))
+	st.drv.state = drvTakeoff
+	st.drv.budget = int(30 * ap.PhysicsHz())
 	return nil
 }
 
@@ -448,26 +487,14 @@ func (st *Stack) Tick() (done bool, err error) {
 	}
 	ap := st.Autopilot
 	ap.Step()
-	st.drv.budget--
 	switch st.drv.state {
 	case drvTakeoff:
+		st.drv.budget--
 		if ap.Mode() != autopilot.Takeoff || st.drv.budget <= 0 {
 			st.endTakeoff()
 		}
-	case drvHover:
-		if st.drv.budget <= 0 {
-			st.endHover()
-		}
-	case drvLanding:
-		if ap.Mode() == autopilot.Disarmed || st.drv.budget <= 0 {
-			st.finish()
-		}
-	case drvTrajectory:
-		if ap.Mode() == autopilot.Hover || st.drv.budget <= 0 {
-			st.finish()
-		}
-	case drvMission:
-		if ap.Mode() == autopilot.Disarmed || st.drv.budget <= 0 {
+	case drvActive:
+		if st.wl.Step(st) {
 			st.finish()
 		}
 	}
@@ -487,29 +514,11 @@ func (st *Stack) SimTimeS() float64 { return st.Autopilot.Time() }
 // Result returns the structured outcome once Done (nil on error or before).
 func (st *Stack) Result() *Result { return st.drv.result }
 
-// enter switches driver state; a non-positive budget resolves immediately,
-// mirroring RunFor/RunUntil called with a non-positive duration (no steps,
-// condition consulted once).
-func (st *Stack) enter(s driverState, budget int) {
-	st.drv.state = s
-	st.drv.budget = budget
-	if budget <= 0 {
-		switch s {
-		case drvTakeoff:
-			st.endTakeoff()
-		case drvHover:
-			st.endHover()
-		default:
-			st.finish()
-		}
-	}
-}
-
-// endTakeoff evaluates the takeoff outcome and branches into the hover,
-// trajectory or mission phase exactly as the blocking sequence did.
+// endTakeoff evaluates the takeoff outcome and hands the flight to the
+// workload's Driver, exactly at the step boundary the blocking sequence
+// branched on.
 func (st *Stack) endTakeoff() {
 	ap := st.Autopilot
-	spec := st.Spec
 	// RunUntil stopped either because the mode left Takeoff or because the
 	// 30 s budget lapsed; in both cases the historical takeoffOK reduces to
 	// "is the vehicle now holding in Hover".
@@ -517,38 +526,16 @@ func (st *Stack) endTakeoff() {
 	if st.drv.takeoffOK {
 		st.phase(PhaseAirborne)
 	}
-	switch {
-	case spec.Hover:
-		if st.drv.takeoffOK {
-			st.enter(drvHover, int(spec.MaxSeconds*ap.PhysicsHz()))
-		} else {
-			st.endHover() // failed takeoff lands straight away
-		}
-	case spec.Trajectory != nil:
-		if st.drv.takeoffOK {
-			if err := ap.FlyTrajectory(spec.Trajectory); err != nil {
-				st.fail(fmt.Errorf("scenario: %w", err))
-				return
-			}
-			st.enter(drvTrajectory, int((spec.Trajectory.TotalS+30)*ap.PhysicsHz()))
-		} else {
-			st.finish()
-		}
-	default:
-		if st.drv.takeoffOK {
-			if err := ap.StartMission(); err == nil {
-				st.phase(PhaseMissionStarted)
-			}
-		}
-		st.enter(drvMission, int((spec.MaxSeconds-ap.Time())*ap.PhysicsHz()))
+	done, err := st.wl.Begin(st, st.drv.takeoffOK)
+	if err != nil {
+		st.fail(fmt.Errorf("scenario: %w", err))
+		return
 	}
-}
-
-// endHover commands the landing that follows the loiter (or a failed
-// takeoff) and enters the 60 s landing watch.
-func (st *Stack) endHover() {
-	st.Autopilot.CommandLand()
-	st.enter(drvLanding, int(60*st.Autopilot.PhysicsHz()))
+	if done {
+		st.finish()
+		return
+	}
+	st.drv.state = drvActive
 }
 
 // fail terminates the flight with an error — no PhaseDone, no Result,
@@ -567,6 +554,7 @@ func (st *Stack) finish() {
 		FlightTimeS: ap.Time(),
 		TakeoffOK:   st.drv.takeoffOK,
 		Completed:   ap.MissionCompleted(),
+		Workload:    st.wl.Outcome(),
 		FinalMode:   ap.Mode(),
 		LastEvent:   ap.LastEvent(),
 		Trajectory:  st.traj,

@@ -91,7 +91,11 @@ type Quad struct {
 	// thrust loss — a chipped prop, a sagging ESC — sits between healthy
 	// and the binary FailMotor, and fault injectors drive it over time.
 	eff [NumMotors]float64
-	t   float64
+	// payloadKg is carried mass attached mid-flight (package delivery); it
+	// adds to the airframe mass in the translational dynamics but not to the
+	// design-derived thrust ceilings, which belong to the airframe.
+	payloadKg float64
+	t         float64
 }
 
 // NewQuad builds the plant from a config.
@@ -152,6 +156,23 @@ func (q *Quad) HoverThrustPerMotorN() float64 {
 // RotorTimeConstant exposes the physical actuation lag (the §2.1.3-D
 // response-time floor).
 func (q *Quad) RotorTimeConstant() float64 { return q.rotor.TimeConstant }
+
+// SetPayloadKg attaches (or, at 0, releases) a carried payload. The mass is
+// felt by the dynamics from the next step; negative values clamp to zero.
+// With no payload the plant's arithmetic is bit-identical to a payload-less
+// build, so flights that never carry mass are unaffected.
+func (q *Quad) SetPayloadKg(kg float64) {
+	if kg < 0 {
+		kg = 0
+	}
+	q.payloadKg = kg
+}
+
+// PayloadKg reports the currently carried payload mass.
+func (q *Quad) PayloadKg() float64 { return q.payloadKg }
+
+// massKg is the total translational mass: airframe plus carried payload.
+func (q *Quad) massKg() float64 { return q.cfg.MassKg + q.payloadKg }
 
 // FailMotor injects a motor/ESC failure: motor i produces no thrust until
 // repaired. Failure injection exercises the autopilot's crash detection.
@@ -275,11 +296,12 @@ func (q *Quad) Step(dt float64) {
 		totalThrust += tN
 	}
 	thrustWorld := q.state.Att.Rotate(mathx.V3(0, 0, totalThrust))
-	gravity := mathx.V3(0, 0, -q.cfg.MassKg*units.Gravity)
+	m := q.massKg()
+	gravity := mathx.V3(0, 0, -m*units.Gravity)
 	air := q.env.WindAt(q.t).Sub(q.state.Vel) // air velocity relative to body
 	drag := air.Scale(q.cfg.DragCoef * air.Norm())
 	force := thrustWorld.Add(gravity).Add(drag)
-	accel := force.Scale(1 / q.cfg.MassKg)
+	accel := force.Scale(1 / m)
 
 	// Torques: r x F per motor plus yaw reaction, plus rotational damping.
 	var tau mathx.Vec3
@@ -289,7 +311,7 @@ func (q *Quad) Step(dt float64) {
 		tau.Y += -motorX[i] * q.armM * tN
 		tau.Z += spinSign[i] * c * tN
 	}
-	tau = tau.Sub(q.state.Omega.Scale(0.01 * q.cfg.MassKg)) // aero damping
+	tau = tau.Sub(q.state.Omega.Scale(0.01 * m)) // aero damping
 	iw := q.state.Omega.Hadamard(q.inertia)
 	domega := mathx.V3(
 		(tau.X-(q.state.Omega.Y*iw.Z-q.state.Omega.Z*iw.Y))/q.inertia.X,
@@ -313,7 +335,7 @@ func (q *Quad) Step(dt float64) {
 			_, _, yaw := q.state.Att.Euler()
 			q.state.Att = mathx.QuatFromEuler(0, 0, yaw)
 		}
-		q.onGround = totalThrust < q.cfg.MassKg*units.Gravity
+		q.onGround = totalThrust < m*units.Gravity
 	} else {
 		q.onGround = false
 	}
